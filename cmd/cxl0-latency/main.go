@@ -1,0 +1,56 @@
+// Command cxl0-latency regenerates the paper's Figure 5: the latency of
+// each CXL0 primitive in isolation, for the five access classes of the
+// host + Type-2 device testbed, as the median of 1000 measurements, plus
+// the relative claims of §5.2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"cxl0/internal/latency"
+)
+
+func main() {
+	samples := flag.Int("samples", 1000, "measurements per bar (paper: 1000)")
+	flag.Parse()
+
+	m := latency.NewModel()
+	fmt.Println("Figure 5 — latency of CXL0 primitives on host and device (median ns)")
+	fmt.Println("=====================================================================")
+	fmt.Printf("%-34s", "")
+	for _, p := range latency.Figure5Primitives {
+		fmt.Printf("%10s", p)
+	}
+	fmt.Println()
+	for _, c := range latency.Classes {
+		fmt.Printf("%-34s", c)
+		for _, p := range latency.Figure5Primitives {
+			med, ok := m.Measure(c, p, *samples)
+			if !ok {
+				fmt.Printf("%10s", "n/m") // not measurable
+				continue
+			}
+			fmt.Printf("%10.0f", med)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(n/m = not measurable: no instruction or IP flow generates the primitive;")
+	fmt.Println(" host RStore and LFlush, device LFlush — 7 bars, matching the paper.)")
+
+	fmt.Println("\n§5.2 relative claims (model vs. paper)")
+	fmt.Println(strings.Repeat("-", 54))
+	for _, r := range latency.Figure5Ratios(m) {
+		fmt.Printf("  %-42s %5.2fx  (paper: %.2fx)\n", r.Name, r.Value, r.PaperSays)
+	}
+
+	fmt.Println("\nprojection: the disaggregation gap across CXL generations")
+	fmt.Println(strings.Repeat("-", 54))
+	for _, row := range latency.Projection() {
+		fmt.Printf("  %-25s local %3.0f ns  remote %3.0f ns  ratio %.2fx\n",
+			row.Generation.Name, row.HostLocalRead, row.HostRemoteRead, row.RemoteOverLocal)
+	}
+	fmt.Println("  (faster links shrink the remote penalty but never erase it: the")
+	fmt.Println("   paper's case for data-placement-aware primitives persists.)")
+}

@@ -1,0 +1,137 @@
+// Durable key-value store: a session cache backed by a disaggregated NVM
+// pool, surviving both a pool crash and a client crash.
+//
+// Three app servers keep user sessions in a shared hash map on a CXL memory
+// host, using the FliT-for-CXL0 transformation. The memory host crashes;
+// then one app server crashes mid-request. Every acknowledged update is
+// still readable afterwards.
+//
+// Run with: go run ./examples/durablekv
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"cxl0/internal/core"
+	"cxl0/internal/ds"
+	"cxl0/internal/flit"
+	"cxl0/internal/memsim"
+)
+
+const memHost = core.MachineID(3)
+
+func main() {
+	cluster := memsim.NewCluster([]memsim.MachineConfig{
+		{Name: "app1", Mem: core.NonVolatile, Heap: 16},
+		{Name: "app2", Mem: core.NonVolatile, Heap: 16},
+		{Name: "app3", Mem: core.NonVolatile, Heap: 16},
+		{Name: "pool", Mem: core.NonVolatile, Heap: 8192},
+	}, memsim.Config{EvictEvery: 4, Seed: 7})
+
+	heap, err := flit.NewHeap(cluster, memHost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv, err := newKV(cluster, heap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: three app servers write sessions concurrently.
+	var wg sync.WaitGroup
+	for app := 0; app < 3; app++ {
+		wg.Add(1)
+		go func(app int) {
+			defer wg.Done()
+			se, err := kv.session(core.MachineID(app))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for u := 0; u < 4; u++ {
+				user := core.Val(app*10 + u)
+				if err := kv.put(se, user, user*100); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(app)
+	}
+	wg.Wait()
+	fmt.Println("12 sessions stored across 3 app servers")
+
+	// Phase 2: the pool crashes and recovers.
+	fmt.Println("memory pool crashes and recovers...")
+	cluster.Crash(memHost)
+	cluster.Recover(memHost)
+	verify(kv, 12)
+
+	// Phase 3: an app server dies mid-request; its in-flight put is allowed
+	// to vanish, but everything acknowledged must stay.
+	se2, err := kv.session(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := kv.put(se2, 99, 9900); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("app2 stored one more session, then its machine crashes...")
+	cluster.Crash(1)
+	cluster.Recover(1)
+	verify(kv, 13)
+}
+
+// kvStore wraps the durable map with a tiny typed API.
+type kvStore struct {
+	cluster *memsim.Cluster
+	m       *ds.Map
+}
+
+func newKV(cluster *memsim.Cluster, heap *flit.Heap) (*kvStore, error) {
+	m, err := ds.NewMap(heap, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &kvStore{cluster: cluster, m: m}, nil
+}
+
+func (kv *kvStore) session(app core.MachineID) (*flit.Session, error) {
+	th, err := kv.cluster.NewThread(app)
+	if err != nil {
+		return nil, err
+	}
+	return flit.NewSession(flit.CXL0FliT, th), nil
+}
+
+func (kv *kvStore) put(se *flit.Session, user, data core.Val) error {
+	return kv.m.Put(se, user, data)
+}
+
+func (kv *kvStore) get(se *flit.Session, user core.Val) (core.Val, bool, error) {
+	return kv.m.Get(se, user)
+}
+
+func verify(kv *kvStore, want int) {
+	se, err := kv.session(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := kv.m.Snapshot(se)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad := 0
+	for user, data := range snap {
+		if user != 99 && data != user*100 {
+			fmt.Printf("  corrupted session %d: %d\n", user, data)
+			bad++
+		}
+	}
+	fmt.Printf("  %d sessions readable, %d corrupted (expected %d intact)\n", len(snap), bad, want)
+	if len(snap) != want || bad != 0 {
+		log.Fatal("durable KV store lost acknowledged data — this must never happen")
+	}
+	if v, ok, _ := kv.get(se, 11); ok {
+		fmt.Printf("  spot check: session 11 -> %d\n", v)
+	}
+}

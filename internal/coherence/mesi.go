@@ -1,0 +1,126 @@
+// Package coherence implements a MESI cache-line state machine for a
+// two-agent (host + device) coherence domain. It is the substrate for the
+// transaction-level CXL simulator (package cxlsim): within a single-root
+// host-device pairing, CXL.cache implements MESI-based coherence on
+// individual cache lines (§2.1 of the paper).
+package coherence
+
+import "fmt"
+
+// State is a MESI cache-line state.
+type State int
+
+const (
+	// Invalid: the cache does not hold the line.
+	Invalid State = iota
+	// Shared: a clean copy that other caches may also hold.
+	Shared
+	// Exclusive: a clean copy held by no other cache.
+	Exclusive
+	// Modified: a dirty copy held by no other cache.
+	Modified
+)
+
+var stateNames = [...]string{"I", "S", "E", "M"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Valid reports whether the line is present (non-Invalid).
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the line holds data newer than memory.
+func (s State) Dirty() bool { return s == Modified }
+
+// Owned reports whether the holder may write without a coherence action.
+func (s State) Owned() bool { return s == Exclusive || s == Modified }
+
+// States lists all MESI states.
+var States = []State{Invalid, Shared, Exclusive, Modified}
+
+// PairLegal reports whether (a, b) is a legal simultaneous state pair for
+// two caches holding the same line: an owned (E/M) copy excludes any other
+// valid copy; Shared copies may coexist.
+func PairLegal(a, b State) bool {
+	if a.Owned() && b.Valid() {
+		return false
+	}
+	if b.Owned() && a.Valid() {
+		return false
+	}
+	return true
+}
+
+// LegalPairs enumerates every legal (a, b) state pair.
+func LegalPairs() [][2]State {
+	var out [][2]State
+	for _, a := range States {
+		for _, b := range States {
+			if PairLegal(a, b) {
+				out = append(out, [2]State{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Line is one cache line: a MESI state plus the cached data word.
+type Line struct {
+	State State
+	Data  uint64
+}
+
+// ReadHit reports whether a local read is served without a coherence
+// action.
+func (l Line) ReadHit() bool { return l.State.Valid() }
+
+// WriteHit reports whether a local write is served without a coherence
+// action.
+func (l Line) WriteHit() bool { return l.State.Owned() }
+
+// OnFill installs data obtained from memory or a peer. exclusive selects E
+// over S.
+func (l *Line) OnFill(data uint64, exclusive bool) {
+	l.Data = data
+	if exclusive {
+		l.State = Exclusive
+	} else {
+		l.State = Shared
+	}
+}
+
+// OnLocalWrite applies a local write; the caller must have established
+// ownership (the line must not be Shared or Invalid).
+func (l *Line) OnLocalWrite(data uint64) {
+	if !l.State.Owned() {
+		panic(fmt.Sprintf("coherence: local write in state %v without ownership", l.State))
+	}
+	l.Data = data
+	l.State = Modified
+}
+
+// OnGrantOwnership upgrades the line to Exclusive (clean) after the peer
+// has been invalidated; data is the (possibly refreshed) line contents.
+func (l *Line) OnGrantOwnership(data uint64) {
+	l.Data = data
+	l.State = Exclusive
+}
+
+// OnSnoopInvalidate invalidates the line, returning its data and whether it
+// was dirty (in which case the data must be written back or forwarded).
+func (l *Line) OnSnoopInvalidate() (data uint64, dirty bool) {
+	data, dirty = l.Data, l.State.Dirty()
+	l.State = Invalid
+	l.Data = 0
+	return data, dirty
+}
+
+// OnEvict removes the line as part of a replacement or explicit flush,
+// returning its data and whether a writeback is required.
+func (l *Line) OnEvict() (data uint64, dirty bool) {
+	return l.OnSnoopInvalidate()
+}

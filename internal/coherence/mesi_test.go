@@ -1,0 +1,81 @@
+package coherence
+
+import "testing"
+
+func TestLegalPairs(t *testing.T) {
+	pairs := LegalPairs()
+	if len(pairs) != 8 {
+		t.Fatalf("got %d legal pairs, want 8: %v", len(pairs), pairs)
+	}
+	want := map[[2]State]bool{
+		{Invalid, Invalid}: true, {Invalid, Shared}: true, {Invalid, Exclusive}: true, {Invalid, Modified}: true,
+		{Shared, Invalid}: true, {Shared, Shared}: true, {Exclusive, Invalid}: true, {Modified, Invalid}: true,
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected legal pair %v", p)
+		}
+	}
+	if PairLegal(Modified, Shared) || PairLegal(Exclusive, Exclusive) || PairLegal(Shared, Modified) {
+		t.Errorf("owned copies must exclude other valid copies")
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	if Invalid.Valid() || !Shared.Valid() || !Exclusive.Valid() || !Modified.Valid() {
+		t.Errorf("Valid() wrong")
+	}
+	if Shared.Dirty() || Exclusive.Dirty() || !Modified.Dirty() {
+		t.Errorf("Dirty() wrong")
+	}
+	if Shared.Owned() || !Exclusive.Owned() || !Modified.Owned() {
+		t.Errorf("Owned() wrong")
+	}
+}
+
+func TestLineLifecycle(t *testing.T) {
+	var l Line
+	if l.ReadHit() || l.WriteHit() {
+		t.Fatalf("zero line must miss")
+	}
+	l.OnFill(42, false)
+	if l.State != Shared || !l.ReadHit() || l.WriteHit() {
+		t.Fatalf("after shared fill: %+v", l)
+	}
+	l.OnGrantOwnership(42)
+	if l.State != Exclusive || !l.WriteHit() {
+		t.Fatalf("after ownership grant: %+v", l)
+	}
+	l.OnLocalWrite(43)
+	if l.State != Modified || l.Data != 43 {
+		t.Fatalf("after write: %+v", l)
+	}
+	data, dirty := l.OnEvict()
+	if data != 43 || !dirty || l.State != Invalid {
+		t.Fatalf("after evict: data=%d dirty=%v %+v", data, dirty, l)
+	}
+}
+
+func TestSnoopCleanVsDirty(t *testing.T) {
+	var l Line
+	l.OnFill(7, true)
+	if _, dirty := l.OnSnoopInvalidate(); dirty {
+		t.Errorf("clean exclusive line reported dirty on snoop")
+	}
+	l.OnFill(7, true)
+	l.OnLocalWrite(8)
+	data, dirty := l.OnSnoopInvalidate()
+	if !dirty || data != 8 {
+		t.Errorf("dirty line snoop: data=%d dirty=%v", data, dirty)
+	}
+}
+
+func TestLocalWriteWithoutOwnershipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("write to Shared line did not panic")
+		}
+	}()
+	l := Line{State: Shared}
+	l.OnLocalWrite(1)
+}

@@ -1,0 +1,130 @@
+package core
+
+import "fmt"
+
+// Setup enumerates the system-model variations of §4 of the paper. Each
+// setup restricts which CXL0 primitives a node may issue; CXL0 itself is the
+// most general model and applies to all cache-coherent setups.
+type Setup int
+
+const (
+	// FullCXL0 places no restrictions: fully symmetric hosts and devices
+	// with coherent sharing (the model's general form, and the paper's
+	// "future configurations").
+	FullCXL0 Setup = iota
+	// HostDevicePair is the host + Type-2 accelerator pairing (Fig. 4a),
+	// the configuration the paper measures in §5. The host cannot issue
+	// RStore, LFlush, or remote RMWs; the device cannot issue LFlush or
+	// remote RMWs.
+	HostDevicePair
+	// PartitionedPool is a disaggregated memory pool whose partitions are
+	// private to each host (Fig. 4b, left): no inter-host cache
+	// interaction, so RStore, loads from peer caches, horizontal
+	// propagation, and remote RMWs are all excluded.
+	PartitionedPool
+	// SharedPoolCoherent is a fully cache-coherent shared pool per the
+	// CXL 3.0+ specification: the pool is a memory-only node, so remote
+	// caches cannot be targeted (no RStore, LFlush on pool lines, or
+	// remote RMWs).
+	SharedPoolCoherent
+	// SharedPoolNonCoherent is today's realistic shared pool without
+	// back-invalidation: CXL0's coherence assumption fails, and only the
+	// cache-bypassing primitives (MStore, loads from memory, M-RMW) are
+	// sound.
+	SharedPoolNonCoherent
+)
+
+var setupNames = [...]string{
+	FullCXL0:              "full CXL0 (symmetric coherent sharing)",
+	HostDevicePair:        "host-device pair (CXL.cache + CXL.mem)",
+	PartitionedPool:       "partitioned disaggregated memory pool",
+	SharedPoolCoherent:    "shared disaggregated memory pool (coherent)",
+	SharedPoolNonCoherent: "shared disaggregated memory pool (non-coherent)",
+}
+
+func (s Setup) String() string {
+	if int(s) < len(setupNames) {
+		return setupNames[s]
+	}
+	return fmt.Sprintf("Setup(%d)", int(s))
+}
+
+// Setups lists all §4 configurations.
+var Setups = []Setup{FullCXL0, HostDevicePair, PartitionedPool, SharedPoolCoherent, SharedPoolNonCoherent}
+
+// NodeRole distinguishes node kinds inside a Setup when availability is
+// asymmetric (the host-device pair).
+type NodeRole int
+
+const (
+	// RoleHost is a CPU root complex.
+	RoleHost NodeRole = iota
+	// RoleDevice is a Type-2 accelerator endpoint.
+	RoleDevice
+)
+
+func (r NodeRole) String() string {
+	if r == RoleHost {
+		return "host"
+	}
+	return "device"
+}
+
+// Available reports whether a node of the given role may issue op under
+// setup s, per §4 of the paper. OpCrash is always "available" (crashes are
+// environmental, not issued).
+func (s Setup) Available(role NodeRole, op Op) bool {
+	if op == OpCrash {
+		return true
+	}
+	switch s {
+	case FullCXL0:
+		return true
+	case HostDevicePair:
+		// "The host can issue all available CXL0 primitives apart from
+		// RStore, LFlush and remote RMWs. The device can issue all stores,
+		// including RStore, but cannot issue LFlush and remote RMWs."
+		switch op {
+		case OpRStore:
+			return role == RoleDevice
+		case OpLFlush, OpRRMW, OpMRMW:
+			return false
+		default:
+			return true
+		}
+	case PartitionedPool:
+		// "We exclude RStore, LOAD-from-C, Propagate-C-C, and remote RMWs,
+		// as there is no interaction between hosts." Loads remain available
+		// as a primitive (they are always served locally or from the pool);
+		// the structural exclusions are properties of the topology.
+		switch op {
+		case OpRStore, OpRRMW, OpMRMW:
+			return false
+		default:
+			return true
+		}
+	case SharedPoolCoherent:
+		// "Interactions with remote caches and remote RMWs are unavailable,
+		// so RStore, LOAD-from-C, LFlush, Propagate-C-C, and remote RMWs
+		// are excluded."
+		switch op {
+		case OpRStore, OpLFlush, OpRRMW, OpMRMW:
+			return false
+		default:
+			return true
+		}
+	case SharedPoolNonCoherent:
+		// "Bypassing caches, i.e. only allowing the CXL0 primitives MStore,
+		// LOAD-from-M, and M-RMW, retains correctness."
+		switch op {
+		case OpMStore, OpLoad, OpMRMW:
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// AllOps lists every issuable CXL0 primitive (excluding crash).
+var AllOps = []Op{OpLoad, OpLStore, OpRStore, OpMStore, OpLFlush, OpRFlush, OpGPF, OpLRMW, OpRRMW, OpMRMW}

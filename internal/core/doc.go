@@ -1,0 +1,41 @@
+// Package core implements CXL0, the operational programming model for
+// coherent disaggregated memory over CXL introduced by Assa et al.
+// (ASPLOS 2026).
+//
+// The model is a labeled transition system. A system consists of N machines
+// connected by a CXL fabric. Each machine i has an abstract local cache
+// C_i : Loc -> Val ∪ {⊥} over the whole shared address space, and an
+// abstract local memory M_i : Loc_i -> Val over the locations it owns.
+// "Cache" and "memory" do not correspond one-to-one to hardware structures;
+// they capture how far a write has propagated towards physical persistence.
+//
+// Transitions are labeled with the CXL0 primitives
+//
+//	Load_i(x,v)    — read; served from any valid cache copy (all valid
+//	                 copies agree, by the global invariant), else from the
+//	                 owner's memory when no cache holds the line
+//	LStore_i(x,v)  — store into the issuer's cache
+//	RStore_i(x,v)  — store into the owner's cache
+//	MStore_i(x,v)  — store directly into the owner's memory
+//	LFlush_i(x)    — block until the issuer's cache no longer holds x
+//	RFlush_i(x)    — block until no cache holds x
+//	GPF_i          — global persistent flush: block until all caches drain
+//	L/R/M-RMW      — atomic read-modify-write, store half as above
+//
+// plus silent nondeterministic propagation steps τ (cache-to-owner-cache and
+// owner-cache-to-memory, modeling cache replacement) and per-machine crash
+// steps E_i (the cache vanishes; volatile memory resets to zero).
+//
+// Two hardware variants from §3.5 of the paper are supported:
+//
+//	PSN — crash with cache-line poisoning: a crash of machine i also
+//	      invalidates i-owned lines in every other cache.
+//	LWB — remote loads with implicit write-back: loads are served from the
+//	      issuer's own cache or, after full propagation, from memory;
+//	      a machine never reads directly out of a peer's cache.
+//
+// The package provides states, labels, the step relation (per variant), and
+// the global single-valid-value invariant. Exhaustive exploration utilities
+// live in package explore; the executable concurrent runtime lives in
+// package memsim.
+package core

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cxl0/internal/core"
+)
+
+// Example builds the two-machine system of Figure 1 and steps it through a
+// store, a crash, and a load — showing how an unflushed value dies with
+// the owner's cache.
+func Example() {
+	topo := core.NewTopology()
+	left := topo.AddMachine("left", core.NonVolatile)
+	right := topo.AddMachine("right", core.NonVolatile)
+	y := topo.AddLoc("y", right)
+
+	s := core.NewState(topo)
+
+	// The left machine stores into the right machine's cache.
+	s = core.Apply(s, core.RStoreL(left, y, 7), core.Base)[0]
+	fmt.Println("after RStore:", s)
+
+	// The right machine crashes before the value reaches its memory.
+	s = core.Crash(s, right, core.Base)
+	fmt.Println("after crash: ", s)
+
+	// Output:
+	// after RStore: C0{} C1{y=7} | M{y:0}
+	// after crash:  C0{} C1{} | M{y:0}
+}
+
+// ExampleApply_flushBlocks shows the paper's blocking-flush semantics: an
+// RFlush is only enabled once propagation has drained every cached copy.
+func ExampleApply_flushBlocks() {
+	topo := core.NewTopology()
+	m1 := topo.AddMachine("m1", core.NonVolatile)
+	m2 := topo.AddMachine("m2", core.NonVolatile)
+	x := topo.AddLoc("x", m2)
+
+	s := core.NewState(topo)
+	s = core.Apply(s, core.LStoreL(m1, x, 1), core.Base)[0]
+
+	fmt.Println("flush enabled immediately:", len(core.Apply(s, core.RFlushL(m1, x), core.Base)) > 0)
+
+	// Two propagation steps drain the value into m2's memory.
+	for _, ts := range core.TauSteps(s) {
+		s = core.ApplyTau(s, ts)
+		break
+	}
+	for _, ts := range core.TauSteps(s) {
+		s = core.ApplyTau(s, ts)
+		break
+	}
+	fmt.Println("flush enabled after drain: ", len(core.Apply(s, core.RFlushL(m1, x), core.Base)) > 0)
+	fmt.Println("persisted value:", s.Mem(x))
+
+	// Output:
+	// flush enabled immediately: false
+	// flush enabled after drain:  true
+	// persisted value: 1
+}

@@ -1,0 +1,143 @@
+package core
+
+import "fmt"
+
+// This file provides destructive counterparts of Apply/ApplyTau/Crash for
+// the executable runtime (package memsim): the runtime holds a single live
+// state behind a lock and has no use for persistent snapshots, so mutating
+// in place avoids cloning the whole state on every primitive. Exploration
+// code must keep using the cloning API.
+//
+// TestInPlaceAgreesWithApply property-checks that both APIs define the same
+// transition relation.
+
+// ApplyInPlace mutates s by the labeled transition l under variant v and
+// reports whether l was enabled (s is unchanged when not). For OpLoad under
+// the Base/PSN variants the transition is deterministic, matching Apply's
+// single successor.
+func ApplyInPlace(s *State, l Label, v Variant) bool {
+	switch l.Op {
+	case OpLoad:
+		return loadInPlace(s, l, v)
+	case OpLStore:
+		for m := range s.cache {
+			s.cache[m][l.Loc] = Bot
+		}
+		s.cache[l.M][l.Loc] = l.Val
+		return true
+	case OpRStore:
+		k := s.topo.Owner(l.Loc)
+		for m := range s.cache {
+			s.cache[m][l.Loc] = Bot
+		}
+		s.cache[k][l.Loc] = l.Val
+		return true
+	case OpMStore:
+		for m := range s.cache {
+			s.cache[m][l.Loc] = Bot
+		}
+		s.mem[l.Loc] = l.Val
+		return true
+	case OpLFlush:
+		return s.cache[l.M][l.Loc] == Bot
+	case OpRFlush:
+		return s.NoCacheHolds(l.Loc)
+	case OpGPF:
+		return s.CachesEmpty()
+	case OpLRMW, OpRRMW, OpMRMW:
+		return rmwInPlace(s, l)
+	case OpCrash:
+		CrashInPlace(s, l.M, v)
+		return true
+	default:
+		panic(fmt.Sprintf("core: ApplyInPlace: unknown op %v", l.Op))
+	}
+}
+
+func loadInPlace(s *State, l Label, v Variant) bool {
+	if v == LWB {
+		if own := s.cache[l.M][l.Loc]; own != Bot {
+			return own == l.Val
+		}
+		if !s.NoCacheHolds(l.Loc) {
+			return false
+		}
+		return s.mem[l.Loc] == l.Val
+	}
+	if cv, ok := s.CachedValue(l.Loc); ok {
+		if cv != l.Val {
+			return false
+		}
+		s.cache[l.M][l.Loc] = cv
+		return true
+	}
+	return s.mem[l.Loc] == l.Val
+}
+
+func rmwInPlace(s *State, l Label) bool {
+	cur, cached := s.CachedValue(l.Loc)
+	if !cached {
+		cur = s.mem[l.Loc]
+	}
+	if cur != l.Old {
+		return false
+	}
+	var storeOp Op
+	switch l.Op {
+	case OpLRMW:
+		storeOp = OpLStore
+	case OpRRMW:
+		storeOp = OpRStore
+	case OpMRMW:
+		storeOp = OpMStore
+	}
+	return ApplyInPlace(s, Label{Op: storeOp, M: l.M, Loc: l.Loc, Val: l.New}, Base)
+}
+
+// ApplyTauInPlace mutates s by one silent propagation step, which must be
+// enabled.
+func ApplyTauInPlace(s *State, t TauStep) {
+	v := s.cache[t.From][t.Loc]
+	if v == Bot {
+		panic("core: ApplyTauInPlace: step not enabled")
+	}
+	if t.ToMemory {
+		if s.topo.Owner(t.Loc) != t.From {
+			panic("core: ApplyTauInPlace: vertical propagation from non-owner")
+		}
+		for m := range s.cache {
+			s.cache[m][t.Loc] = Bot
+		}
+		s.mem[t.Loc] = v
+	} else {
+		k := s.topo.Owner(t.Loc)
+		s.cache[t.From][t.Loc] = Bot
+		s.cache[k][t.Loc] = v
+	}
+}
+
+// CrashInPlace mutates s by the crash of machine m under variant v.
+func CrashInPlace(s *State, m MachineID, v Variant) {
+	for l := range s.cache[m] {
+		s.cache[m][l] = Bot
+	}
+	if s.topo.Mem(m) == Volatile {
+		for l := 0; l < s.topo.NumLocs(); l++ {
+			if s.topo.Owner(LocID(l)) == m {
+				s.mem[l] = 0
+			}
+		}
+	}
+	if v == PSN {
+		for j := range s.cache {
+			if MachineID(j) == m {
+				continue
+			}
+			for l := 0; l < s.topo.NumLocs(); l++ {
+				if s.topo.Owner(LocID(l)) == m {
+					s.cache[j][l] = Bot
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLabel draws a random label over a two-machine topology.
+func randomLabel(rng *rand.Rand) Label {
+	m := MachineID(rng.Intn(2))
+	x := LocID(rng.Intn(2))
+	v := Val(rng.Intn(3))
+	switch rng.Intn(9) {
+	case 0:
+		return LoadL(m, x, v)
+	case 1:
+		return LStoreL(m, x, v)
+	case 2:
+		return RStoreL(m, x, v)
+	case 3:
+		return MStoreL(m, x, v)
+	case 4:
+		return LFlushL(m, x)
+	case 5:
+		return RFlushL(m, x)
+	case 6:
+		return CrashL(m)
+	case 7:
+		return RMWL(OpLRMW, m, x, v, Val(rng.Intn(3)))
+	default:
+		return RMWL(OpMRMW, m, x, v, Val(rng.Intn(3)))
+	}
+}
+
+// TestInPlaceAgreesWithApply property-checks that ApplyInPlace defines the
+// same (deterministic fragment of the) transition relation as Apply: for
+// random states and labels, enabledness matches, and when enabled the
+// in-place result equals Apply's successor.
+func TestInPlaceAgreesWithApply(t *testing.T) {
+	topo := NewTopology()
+	m0 := topo.AddMachine("m1", NonVolatile)
+	m1 := topo.AddMachine("m2", Volatile)
+	topo.AddLoc("x", m0)
+	topo.AddLoc("y", m1)
+
+	f := func(seed int64, variantRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		variant := Variants[int(variantRaw)%len(Variants)]
+		s := NewState(topo)
+		for step := 0; step < 40; step++ {
+			l := randomLabel(rng)
+			viaClone := Apply(s, l, variant)
+			inPlace := s.Clone()
+			enabled := ApplyInPlace(inPlace, l, variant)
+			if enabled != (len(viaClone) > 0) {
+				t.Logf("enabledness mismatch at %v (state %v): clone=%d inplace=%v",
+					l, s, len(viaClone), enabled)
+				return false
+			}
+			if !enabled {
+				// Also check the failed in-place application left the state
+				// alone (loads/RMWs may not, per contract, mutate on failure).
+				if !inPlace.Equal(s) {
+					t.Logf("disabled %v mutated the state", l)
+					return false
+				}
+				continue
+			}
+			if len(viaClone) != 1 {
+				t.Logf("nondeterministic label %v yields %d successors", l, len(viaClone))
+				return false
+			}
+			if !inPlace.Equal(viaClone[0]) {
+				t.Logf("result mismatch at %v: %v vs %v", l, inPlace, viaClone[0])
+				return false
+			}
+			s = viaClone[0]
+			// Occasionally interleave a τ step through both APIs.
+			if steps := TauSteps(s); len(steps) > 0 && rng.Intn(3) == 0 {
+				ts := steps[rng.Intn(len(steps))]
+				cloned := ApplyTau(s, ts)
+				ip := s.Clone()
+				ApplyTauInPlace(ip, ts)
+				if !ip.Equal(cloned) {
+					t.Logf("τ mismatch at %v", ts)
+					return false
+				}
+				s = cloned
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashInPlaceMatchesCrash compares the two crash implementations on
+// random states under all variants.
+func TestCrashInPlaceMatchesCrash(t *testing.T) {
+	topo := NewTopology()
+	m0 := topo.AddMachine("m1", NonVolatile)
+	m1 := topo.AddMachine("m2", Volatile)
+	x := topo.AddLoc("x", m0)
+	y := topo.AddLoc("y", m1)
+
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 300; iter++ {
+		s := NewState(topo)
+		if rng.Intn(2) == 0 {
+			s.SetCache(MachineID(rng.Intn(2)), x, Val(rng.Intn(3)))
+		}
+		if rng.Intn(2) == 0 {
+			s.SetCache(MachineID(rng.Intn(2)), y, Val(rng.Intn(3)))
+		}
+		s.SetMem(x, Val(rng.Intn(3)))
+		s.SetMem(y, Val(rng.Intn(3)))
+		if s.CheckInvariant() != nil {
+			continue
+		}
+		for _, variant := range Variants {
+			for _, m := range []MachineID{m0, m1} {
+				want := Crash(s, m, variant)
+				got := s.Clone()
+				CrashInPlace(got, m, variant)
+				if !got.Equal(want) {
+					t.Fatalf("crash mismatch: machine %d variant %v state %v", m, variant, s)
+				}
+			}
+		}
+	}
+}

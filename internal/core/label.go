@@ -1,0 +1,132 @@
+package core
+
+import "fmt"
+
+// Op enumerates CXL0 transition label kinds.
+type Op int
+
+const (
+	// OpLoad is Load_i(x,v): read x, observing v.
+	OpLoad Op = iota
+	// OpLStore is LStore_i(x,v): store v into the issuer's cache.
+	OpLStore
+	// OpRStore is RStore_i(x,v): store v into the owner's cache.
+	OpRStore
+	// OpMStore is MStore_i(x,v): store v into the owner's memory.
+	OpMStore
+	// OpLFlush is LFlush_i(x): drain x from the issuer's cache.
+	OpLFlush
+	// OpRFlush is RFlush_i(x): drain x from every cache.
+	OpRFlush
+	// OpGPF is GPF_i: the Global Persistent Flush — drain all caches.
+	OpGPF
+	// OpLRMW is L-RMW_i(x,old,new): atomic read-modify-write whose store
+	// half behaves like LStore.
+	OpLRMW
+	// OpRRMW is R-RMW_i(x,old,new): store half behaves like RStore.
+	OpRRMW
+	// OpMRMW is M-RMW_i(x,old,new): store half behaves like MStore.
+	OpMRMW
+	// OpCrash is E_i: machine i crashes.
+	OpCrash
+)
+
+var opNames = [...]string{
+	OpLoad: "Load", OpLStore: "LStore", OpRStore: "RStore", OpMStore: "MStore",
+	OpLFlush: "LFlush", OpRFlush: "RFlush", OpGPF: "GPF",
+	OpLRMW: "L-RMW", OpRRMW: "R-RMW", OpMRMW: "M-RMW", OpCrash: "E",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsStore reports whether o is one of the three store primitives.
+func (o Op) IsStore() bool { return o == OpLStore || o == OpRStore || o == OpMStore }
+
+// IsRMW reports whether o is one of the three RMW primitives.
+func (o Op) IsRMW() bool { return o == OpLRMW || o == OpRRMW || o == OpMRMW }
+
+// IsFlush reports whether o is LFlush, RFlush or GPF.
+func (o Op) IsFlush() bool { return o == OpLFlush || o == OpRFlush || o == OpGPF }
+
+// Label is a CXL0 transition label. M is the issuing machine (the crashing
+// machine for OpCrash). Loc and Val are used by loads and stores; Old/New by
+// RMWs. Silent τ steps have no label; see TauSuccessors.
+type Label struct {
+	Op  Op
+	M   MachineID
+	Loc LocID
+	Val Val // stored value, or the value a Load observes
+	Old Val // RMW: expected old value
+	New Val // RMW: new value
+}
+
+// Convenience constructors, mirroring the paper's notation.
+
+// LoadL is Load_m(x, v).
+func LoadL(m MachineID, x LocID, v Val) Label { return Label{Op: OpLoad, M: m, Loc: x, Val: v} }
+
+// LStoreL is LStore_m(x, v).
+func LStoreL(m MachineID, x LocID, v Val) Label { return Label{Op: OpLStore, M: m, Loc: x, Val: v} }
+
+// RStoreL is RStore_m(x, v).
+func RStoreL(m MachineID, x LocID, v Val) Label { return Label{Op: OpRStore, M: m, Loc: x, Val: v} }
+
+// MStoreL is MStore_m(x, v).
+func MStoreL(m MachineID, x LocID, v Val) Label { return Label{Op: OpMStore, M: m, Loc: x, Val: v} }
+
+// LFlushL is LFlush_m(x).
+func LFlushL(m MachineID, x LocID) Label { return Label{Op: OpLFlush, M: m, Loc: x} }
+
+// RFlushL is RFlush_m(x).
+func RFlushL(m MachineID, x LocID) Label { return Label{Op: OpRFlush, M: m, Loc: x} }
+
+// GPFL is GPF_m.
+func GPFL(m MachineID) Label { return Label{Op: OpGPF, M: m} }
+
+// CrashL is E_m.
+func CrashL(m MachineID) Label { return Label{Op: OpCrash, M: m} }
+
+// RMWL is an RMW label of the given kind (OpLRMW, OpRRMW or OpMRMW).
+func RMWL(kind Op, m MachineID, x LocID, old, new Val) Label {
+	if !kind.IsRMW() {
+		panic("core: RMWL requires an RMW op")
+	}
+	return Label{Op: kind, M: m, Loc: x, Old: old, New: new}
+}
+
+// String renders the label in the paper's notation, e.g. "LStore1(x,1)".
+func (l Label) String() string {
+	switch l.Op {
+	case OpLoad, OpLStore, OpRStore, OpMStore:
+		return fmt.Sprintf("%s%d(loc%d,%d)", l.Op, l.M, l.Loc, l.Val)
+	case OpLFlush, OpRFlush:
+		return fmt.Sprintf("%s%d(loc%d)", l.Op, l.M, l.Loc)
+	case OpGPF:
+		return fmt.Sprintf("GPF%d", l.M)
+	case OpCrash:
+		return fmt.Sprintf("E%d", l.M)
+	default:
+		return fmt.Sprintf("%s%d(loc%d,%d,%d)", l.Op, l.M, l.Loc, l.Old, l.New)
+	}
+}
+
+// Pretty renders the label using location names from t.
+func (l Label) Pretty(t *Topology) string {
+	switch l.Op {
+	case OpLoad, OpLStore, OpRStore, OpMStore:
+		return fmt.Sprintf("%s%d(%s,%d)", l.Op, l.M+1, t.LocName(l.Loc), l.Val)
+	case OpLFlush, OpRFlush:
+		return fmt.Sprintf("%s%d(%s)", l.Op, l.M+1, t.LocName(l.Loc))
+	case OpGPF:
+		return fmt.Sprintf("GPF%d", l.M+1)
+	case OpCrash:
+		return fmt.Sprintf("E%d", l.M+1)
+	default:
+		return fmt.Sprintf("%s%d(%s,%d,%d)", l.Op, l.M+1, t.LocName(l.Loc), l.Old, l.New)
+	}
+}

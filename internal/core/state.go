@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// State is a CXL0 system state γ = (C, M): per-machine caches over the whole
+// address space (Bot = invalid) and one memory cell per location, held by
+// its owner.
+type State struct {
+	topo  *Topology
+	cache [][]Val // [machine][loc]; Bot means ⊥
+	mem   []Val   // [loc], stored at Owner(loc)
+}
+
+// NewState returns the initial state for t: all caches ⊥, all memory zero.
+func NewState(t *Topology) *State {
+	s := &State{topo: t}
+	s.cache = make([][]Val, t.NumMachines())
+	for m := range s.cache {
+		row := make([]Val, t.NumLocs())
+		for l := range row {
+			row[l] = Bot
+		}
+		s.cache[m] = row
+	}
+	s.mem = make([]Val, t.NumLocs())
+	return s
+}
+
+// Topology returns the topology this state belongs to.
+func (s *State) Topology() *Topology { return s.topo }
+
+// Clone returns a deep copy of s.
+func (s *State) Clone() *State {
+	c := &State{topo: s.topo}
+	c.cache = make([][]Val, len(s.cache))
+	for m := range s.cache {
+		c.cache[m] = append([]Val(nil), s.cache[m]...)
+	}
+	c.mem = append([]Val(nil), s.mem...)
+	return c
+}
+
+// Cache returns C_m(l).
+func (s *State) Cache(m MachineID, l LocID) Val { return s.cache[m][l] }
+
+// Mem returns M_k(l) where k owns l.
+func (s *State) Mem(l LocID) Val { return s.mem[l] }
+
+// SetCache sets C_m(l) = v. Exported for test setup and the runtime; normal
+// evolution goes through Apply and TauSuccessors.
+func (s *State) SetCache(m MachineID, l LocID, v Val) { s.cache[m][l] = v }
+
+// SetMem sets M(l) = v.
+func (s *State) SetMem(l LocID, v Val) { s.mem[l] = v }
+
+// CachedValue returns the unique valid cached value of l and true, or
+// (Bot, false) when no cache holds l. The global invariant guarantees
+// uniqueness.
+func (s *State) CachedValue(l LocID) (Val, bool) {
+	for m := range s.cache {
+		if v := s.cache[m][l]; v != Bot {
+			return v, true
+		}
+	}
+	return Bot, false
+}
+
+// Readable returns the value a Load of l would observe in this state:
+// the valid cached copy if one exists, otherwise the owner's memory.
+func (s *State) Readable(l LocID) Val {
+	if v, ok := s.CachedValue(l); ok {
+		return v
+	}
+	return s.mem[l]
+}
+
+// NoCacheHolds reports whether no machine caches l (∀j. C_j(l) = ⊥).
+func (s *State) NoCacheHolds(l LocID) bool {
+	for m := range s.cache {
+		if s.cache[m][l] != Bot {
+			return false
+		}
+	}
+	return true
+}
+
+// CachesEmpty reports whether every cache is entirely empty.
+func (s *State) CachesEmpty() bool {
+	for m := range s.cache {
+		for _, v := range s.cache[m] {
+			if v != Bot {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckInvariant verifies the CXL0 global invariant: for every location, all
+// valid cached copies hold the same value, and memory values are
+// non-negative. It returns a descriptive error on violation.
+func (s *State) CheckInvariant() error {
+	for l := 0; l < s.topo.NumLocs(); l++ {
+		have := Bot
+		for m := range s.cache {
+			v := s.cache[m][l]
+			if v == Bot {
+				continue
+			}
+			if have != Bot && v != have {
+				return fmt.Errorf("core: invariant violation at %s: caches hold both %d and %d",
+					s.topo.LocName(LocID(l)), have, v)
+			}
+			have = v
+		}
+		if s.mem[l] < 0 {
+			return fmt.Errorf("core: negative memory value %d at %s", s.mem[l], s.topo.LocName(LocID(l)))
+		}
+	}
+	return nil
+}
+
+// Key returns a compact canonical encoding of the state, suitable as a map
+// key for memoized exploration. Two states of the same topology have equal
+// keys iff they are equal.
+func (s *State) Key() string {
+	var b []byte
+	for m := range s.cache {
+		for _, v := range s.cache[m] {
+			b = binary.AppendVarint(b, int64(v))
+		}
+	}
+	for _, v := range s.mem {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	return string(b)
+}
+
+// Equal reports whether s and o are the same state of the same topology.
+func (s *State) Equal(o *State) bool {
+	if s.topo != o.topo {
+		return false
+	}
+	for m := range s.cache {
+		for l := range s.cache[m] {
+			if s.cache[m][l] != o.cache[m][l] {
+				return false
+			}
+		}
+	}
+	for l := range s.mem {
+		if s.mem[l] != o.mem[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state for debugging, e.g.
+// "C0{x=1} C1{} | M{x:0 y:2}".
+func (s *State) String() string {
+	var sb strings.Builder
+	for m := range s.cache {
+		if m > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "C%d{", m)
+		first := true
+		for l, v := range s.cache[m] {
+			if v == Bot {
+				continue
+			}
+			if !first {
+				sb.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(&sb, "%s=%d", s.topo.LocName(LocID(l)), v)
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteString(" | M{")
+	for l, v := range s.mem {
+		if l > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%d", s.topo.LocName(LocID(l)), v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

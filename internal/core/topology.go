@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// MachineID identifies a machine (node) in the system.
+type MachineID int
+
+// LocID identifies a shared memory location. Location IDs are dense indices
+// assigned by the Topology in creation order.
+type LocID int
+
+// Val is a memory value. The distinguished value 0 initializes every
+// location. Values stored to memory must be non-negative; Bot is reserved
+// as the cache-invalid sentinel ⊥.
+type Val int64
+
+// Bot is the "invalid" cache sentinel ⊥. It never appears in memory.
+const Bot Val = -1
+
+// MemKind says whether a machine's attached memory survives its crash.
+type MemKind int
+
+const (
+	// Volatile memory resets to zero when its machine crashes.
+	Volatile MemKind = iota
+	// NonVolatile memory survives crashes of its machine (NVMM, or memory
+	// in a separate failure domain such as an external pool).
+	NonVolatile
+)
+
+func (k MemKind) String() string {
+	switch k {
+	case Volatile:
+		return "volatile"
+	case NonVolatile:
+		return "non-volatile"
+	}
+	return fmt.Sprintf("MemKind(%d)", int(k))
+}
+
+// MachineSpec describes one machine in a topology.
+type MachineSpec struct {
+	Name string
+	Mem  MemKind
+}
+
+// Topology is the static shape of a CXL0 system: the set of machines and
+// the assignment of every shared location to its owning machine. A Topology
+// is immutable once states have been created from it.
+type Topology struct {
+	machines []MachineSpec
+	owner    []MachineID // indexed by LocID
+	locNames []string
+	locIndex map[string]LocID
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{locIndex: make(map[string]LocID)}
+}
+
+// AddMachine registers a machine and returns its ID.
+func (t *Topology) AddMachine(name string, mem MemKind) MachineID {
+	t.machines = append(t.machines, MachineSpec{Name: name, Mem: mem})
+	return MachineID(len(t.machines) - 1)
+}
+
+// AddLoc registers a shared location owned by machine m and returns its ID.
+// Location names must be unique.
+func (t *Topology) AddLoc(name string, m MachineID) LocID {
+	if _, dup := t.locIndex[name]; dup {
+		panic(fmt.Sprintf("core: duplicate location name %q", name))
+	}
+	if int(m) < 0 || int(m) >= len(t.machines) {
+		panic(fmt.Sprintf("core: AddLoc(%q): no machine %d", name, m))
+	}
+	id := LocID(len(t.owner))
+	t.owner = append(t.owner, m)
+	t.locNames = append(t.locNames, name)
+	t.locIndex[name] = id
+	return id
+}
+
+// AddLocs registers n anonymous locations owned by machine m and returns the
+// ID of the first; the rest follow contiguously.
+func (t *Topology) AddLocs(m MachineID, n int) LocID {
+	first := LocID(len(t.owner))
+	for i := 0; i < n; i++ {
+		t.AddLoc(fmt.Sprintf("%s[%d]", t.machines[m].Name, int(first)+i), m)
+	}
+	return first
+}
+
+// NumMachines returns the number of machines.
+func (t *Topology) NumMachines() int { return len(t.machines) }
+
+// NumLocs returns the number of shared locations.
+func (t *Topology) NumLocs() int { return len(t.owner) }
+
+// Owner returns the machine owning location l.
+func (t *Topology) Owner(l LocID) MachineID { return t.owner[l] }
+
+// Mem returns the memory kind of machine m.
+func (t *Topology) Mem(m MachineID) MemKind { return t.machines[m].Mem }
+
+// MachineName returns the name of machine m.
+func (t *Topology) MachineName(m MachineID) string { return t.machines[m].Name }
+
+// LocName returns the name of location l.
+func (t *Topology) LocName(l LocID) string { return t.locNames[l] }
+
+// LocByName returns the location with the given name.
+func (t *Topology) LocByName(name string) (LocID, bool) {
+	l, ok := t.locIndex[name]
+	return l, ok
+}

@@ -1,0 +1,490 @@
+// Package crashtest runs the paper's §6 experiment end to end: concurrent
+// workloads over FliT-transformed data structures with injected machine
+// crashes, checked for durable linearizability.
+//
+// A run builds a three-machine cluster (two compute nodes and one NVM
+// memory host holding the structure), spawns workers issuing randomized
+// operations, crashes a machine mid-run (the memory host, a compute node,
+// or both), recovers, drains/reads the structure, and hands the recorded
+// history to the durable-linearizability checker.
+//
+// Under the correct strategies (Algorithm 2, its §6.1 optimisation, and
+// MStore-everything) every run must be durably linearizable. The original
+// x86 FliT and the no-persistence baseline are expected to produce
+// violations: a completed operation's effect can vanish with the memory
+// host's volatile cache.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cxl0/internal/core"
+	"cxl0/internal/ds"
+	"cxl0/internal/flit"
+	"cxl0/internal/history"
+	"cxl0/internal/memsim"
+)
+
+// Structure selects the data structure under test.
+type Structure int
+
+const (
+	StructQueue Structure = iota
+	StructStack
+	StructRegister
+	StructCounter
+	StructSet
+	StructMap
+)
+
+var structNames = [...]string{"queue", "stack", "register", "counter", "set", "map"}
+
+func (s Structure) String() string { return structNames[s] }
+
+// Structures lists every testable structure.
+var Structures = []Structure{StructQueue, StructStack, StructRegister, StructCounter, StructSet, StructMap}
+
+// CrashMode selects which machine crashes mid-run.
+type CrashMode int
+
+const (
+	// CrashNone injects no crash (plain linearizability check).
+	CrashNone CrashMode = iota
+	// CrashMemoryHost crashes the machine owning the structure's memory:
+	// its cache content is lost, its NVM survives.
+	CrashMemoryHost
+	// CrashCompute crashes one compute machine: its workers die mid-
+	// operation, leaving pending operations.
+	CrashCompute
+	// CrashBoth crashes the memory host and a compute machine.
+	CrashBoth
+)
+
+var crashModeNames = [...]string{"none", "memory-host", "compute", "both"}
+
+func (m CrashMode) String() string { return crashModeNames[m] }
+
+// CrashModes lists all crash modes.
+var CrashModes = []CrashMode{CrashNone, CrashMemoryHost, CrashCompute, CrashBoth}
+
+// Options configures one run.
+type Options struct {
+	Structure    Structure
+	Strategy     flit.Strategy
+	Crash        CrashMode
+	Seed         int64
+	Workers      int // concurrent clients, spread over the two compute machines
+	OpsPerWorker int
+	Variant      core.Variant
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Options      Options
+	History      history.History
+	Linearizable bool
+	Err          error
+}
+
+// spec returns the sequential specification for a structure.
+func spec(s Structure) history.Spec {
+	switch s {
+	case StructQueue:
+		return history.QueueSpec{}
+	case StructStack:
+		return history.StackSpec{}
+	case StructRegister:
+		return history.RegisterSpec{}
+	case StructCounter:
+		return history.CounterSpec{}
+	case StructSet:
+		return history.SetSpec{}
+	default:
+		return history.MapSpec{}
+	}
+}
+
+const (
+	computeA = core.MachineID(0)
+	computeB = core.MachineID(1)
+	memHost  = core.MachineID(2)
+	keySpace = 5 // small, to force conflicts
+)
+
+// Run executes one crash experiment.
+func Run(o Options) Result {
+	if o.Workers <= 0 {
+		o.Workers = 3
+	}
+	if o.OpsPerWorker <= 0 {
+		o.OpsPerWorker = 6
+	}
+	cluster := memsim.NewCluster([]memsim.MachineConfig{
+		{Name: "computeA", Mem: core.NonVolatile, Heap: 16},
+		{Name: "computeB", Mem: core.NonVolatile, Heap: 16},
+		{Name: "memhost", Mem: core.NonVolatile, Heap: 8192},
+	}, memsim.Config{Variant: o.Variant, EvictEvery: 7, Seed: o.Seed})
+
+	heap, err := flit.NewHeap(cluster, memHost)
+	if err != nil {
+		return Result{Options: o, Err: err}
+	}
+	setupThread, err := cluster.NewThread(computeA)
+	if err != nil {
+		return Result{Options: o, Err: err}
+	}
+	setup := flit.NewSession(o.Strategy, setupThread)
+
+	obj, err := newObject(o.Structure, heap, setup)
+	if err != nil {
+		return Result{Options: o, Err: err}
+	}
+
+	var (
+		rec         history.Recorder
+		opsDone     atomic.Int64
+		workersDone atomic.Int64
+		wg          sync.WaitGroup
+		runErrMu    sync.Mutex
+		runErr      error
+	)
+	fail := func(err error) {
+		runErrMu.Lock()
+		defer runErrMu.Unlock()
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	total := int64(o.Workers * o.OpsPerWorker)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer workersDone.Add(1)
+			machine := computeA
+			if w%2 == 1 {
+				machine = computeB
+			}
+			th, err := cluster.NewThread(machine)
+			if err != nil {
+				fail(err)
+				return
+			}
+			se := flit.NewSession(o.Strategy, th)
+			rng := rand.New(rand.NewSource(o.Seed*1000 + int64(w)))
+			for i := 0; i < o.OpsPerWorker; i++ {
+				if err := obj.randomOp(se, &rec, cluster, w, rng); err != nil {
+					if errors.Is(err, memsim.ErrCrashed) {
+						return // worker died with the machine; its op stays pending
+					}
+					if errors.Is(err, ds.ErrCorrupt) {
+						// The crash destroyed the structure's anchors — a
+						// durability failure only unsound strategies can
+						// produce. The op stays pending; the observation
+						// phase will expose the loss to the checker.
+						return
+					}
+					fail(fmt.Errorf("worker %d: %w", w, err))
+					return
+				}
+				opsDone.Add(1)
+			}
+		}(w)
+	}
+
+	// Crash controller: wait until roughly half the operations completed,
+	// then fail the selected machines and recover them.
+	if o.Crash != CrashNone {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for opsDone.Load() < total/2 && workersDone.Load() < int64(o.Workers) {
+				runtime.Gosched()
+			}
+			if o.Crash == CrashMemoryHost || o.Crash == CrashBoth {
+				cluster.Crash(memHost)
+				cluster.Recover(memHost)
+			}
+			if o.Crash == CrashCompute || o.Crash == CrashBoth {
+				cluster.Crash(computeB)
+				cluster.Recover(computeB)
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return Result{Options: o, Err: runErr}
+	}
+
+	// Recovery phase: fresh thread, observe the entire structure.
+	obsThread, err := cluster.NewThread(computeA)
+	if err != nil {
+		return Result{Options: o, Err: err}
+	}
+	obs := flit.NewSession(o.Strategy, obsThread)
+	if err := obj.observe(obs, &rec, cluster, o.Workers); err != nil {
+		return Result{Options: o, Err: err}
+	}
+
+	h := rec.History()
+	if err := h.WellFormed(); err != nil {
+		return Result{Options: o, Err: err}
+	}
+	ok := history.Linearizable(h, spec(o.Structure))
+	return Result{Options: o, History: h, Linearizable: ok}
+}
+
+// object adapts one data structure to the harness.
+type object struct {
+	kind  Structure
+	queue *ds.Queue
+	stack *ds.Stack
+	reg   *ds.Register
+	ctr   *ds.Counter
+	set   *ds.Set
+	hmap  *ds.Map
+}
+
+func newObject(kind Structure, heap *flit.Heap, se *flit.Session) (*object, error) {
+	o := &object{kind: kind}
+	var err error
+	switch kind {
+	case StructQueue:
+		o.queue, err = ds.NewQueue(heap, se)
+	case StructStack:
+		o.stack, err = ds.NewStack(heap)
+	case StructRegister:
+		o.reg, err = ds.NewRegister(heap)
+	case StructCounter:
+		o.ctr, err = ds.NewCounter(heap)
+	case StructSet:
+		o.set, err = ds.NewSet(heap)
+	case StructMap:
+		o.hmap, err = ds.NewMap(heap, 4)
+	}
+	return o, err
+}
+
+// randomOp performs one randomized operation, recording it. Values are ≥ 1
+// so that a zeroed (lost) location can never masquerade as real data.
+func (o *object) randomOp(se *flit.Session, rec *history.Recorder, cl *memsim.Cluster, client int, rng *rand.Rand) error {
+	arg := core.Val(1 + rng.Intn(keySpace))
+	switch o.kind {
+	case StructQueue:
+		if rng.Intn(2) == 0 {
+			tok := rec.Begin(client, "enq", arg, 0, cl.Stamp())
+			if err := o.queue.Enqueue(se, arg); err != nil {
+				return err
+			}
+			rec.End(tok, 0, true, cl.Stamp())
+			return nil
+		}
+		tok := rec.Begin(client, "deq", 0, 0, cl.Stamp())
+		v, ok, err := o.queue.Dequeue(se)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, v, ok, cl.Stamp())
+	case StructStack:
+		if rng.Intn(2) == 0 {
+			tok := rec.Begin(client, "push", arg, 0, cl.Stamp())
+			if err := o.stack.Push(se, arg); err != nil {
+				return err
+			}
+			rec.End(tok, 0, true, cl.Stamp())
+			return nil
+		}
+		tok := rec.Begin(client, "pop", 0, 0, cl.Stamp())
+		v, ok, err := o.stack.Pop(se)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, v, ok, cl.Stamp())
+	case StructRegister:
+		switch rng.Intn(3) {
+		case 0:
+			tok := rec.Begin(client, "write", arg, 0, cl.Stamp())
+			if err := o.reg.Write(se, arg); err != nil {
+				return err
+			}
+			rec.End(tok, 0, true, cl.Stamp())
+		case 1:
+			tok := rec.Begin(client, "read", 0, 0, cl.Stamp())
+			v, err := o.reg.Read(se)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, v, true, cl.Stamp())
+		default:
+			old, new := arg, core.Val(1+rng.Intn(keySpace))
+			tok := rec.Begin(client, "cas", old, new, cl.Stamp())
+			ok, err := o.reg.CompareAndSwap(se, old, new)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, 0, ok, cl.Stamp())
+		}
+	case StructCounter:
+		if rng.Intn(3) > 0 {
+			tok := rec.Begin(client, "add", 1, 0, cl.Stamp())
+			prev, err := o.ctr.Inc(se)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, prev, true, cl.Stamp())
+			return nil
+		}
+		tok := rec.Begin(client, "get", 0, 0, cl.Stamp())
+		v, err := o.ctr.Value(se)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, v, true, cl.Stamp())
+	case StructSet:
+		switch rng.Intn(3) {
+		case 0:
+			tok := rec.Begin(client, "ins", arg, 0, cl.Stamp())
+			ok, err := o.set.Insert(se, arg)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, 0, ok, cl.Stamp())
+		case 1:
+			tok := rec.Begin(client, "rem", arg, 0, cl.Stamp())
+			ok, err := o.set.Remove(se, arg)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, 0, ok, cl.Stamp())
+		default:
+			tok := rec.Begin(client, "has", arg, 0, cl.Stamp())
+			ok, err := o.set.Contains(se, arg)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, 0, ok, cl.Stamp())
+		}
+	case StructMap:
+		switch rng.Intn(3) {
+		case 0:
+			val := core.Val(1 + rng.Intn(9))
+			tok := rec.Begin(client, "put", arg, val, cl.Stamp())
+			if err := o.hmap.Put(se, arg, val); err != nil {
+				return err
+			}
+			rec.End(tok, 0, true, cl.Stamp())
+		case 1:
+			tok := rec.Begin(client, "get", arg, 0, cl.Stamp())
+			v, ok, err := o.hmap.Get(se, arg)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, v, ok, cl.Stamp())
+		default:
+			tok := rec.Begin(client, "del", arg, 0, cl.Stamp())
+			ok, err := o.hmap.Delete(se, arg)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, 0, ok, cl.Stamp())
+		}
+	}
+	return nil
+}
+
+// observe reads the whole structure after recovery, recording the reads as
+// operations of a fresh client so that the checker can confront them with
+// the pre-crash history.
+func (o *object) observe(se *flit.Session, rec *history.Recorder, cl *memsim.Cluster, client int) error {
+	switch o.kind {
+	case StructQueue:
+		if err := o.queue.Recover(se); err != nil {
+			return err
+		}
+		for {
+			tok := rec.Begin(client, "deq", 0, 0, cl.Stamp())
+			v, ok, err := o.queue.Dequeue(se)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, v, ok, cl.Stamp())
+			if !ok {
+				return nil
+			}
+		}
+	case StructStack:
+		for {
+			tok := rec.Begin(client, "pop", 0, 0, cl.Stamp())
+			v, ok, err := o.stack.Pop(se)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, v, ok, cl.Stamp())
+			if !ok {
+				return nil
+			}
+		}
+	case StructRegister:
+		tok := rec.Begin(client, "read", 0, 0, cl.Stamp())
+		v, err := o.reg.Read(se)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, v, true, cl.Stamp())
+	case StructCounter:
+		tok := rec.Begin(client, "get", 0, 0, cl.Stamp())
+		v, err := o.ctr.Value(se)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, v, true, cl.Stamp())
+	case StructSet:
+		for k := core.Val(1); k <= keySpace; k++ {
+			tok := rec.Begin(client, "has", k, 0, cl.Stamp())
+			ok, err := o.set.Contains(se, k)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, 0, ok, cl.Stamp())
+		}
+	case StructMap:
+		for k := core.Val(1); k <= keySpace; k++ {
+			tok := rec.Begin(client, "get", k, 0, cl.Stamp())
+			v, ok, err := o.hmap.Get(se, k)
+			if err != nil {
+				return err
+			}
+			rec.End(tok, v, ok, cl.Stamp())
+		}
+	}
+	return nil
+}
+
+// Sweep runs the experiment across seeds and reports how many runs were
+// durably linearizable.
+func Sweep(base Options, seeds int) (ok, violations int, firstViolation *Result, err error) {
+	for s := 0; s < seeds; s++ {
+		o := base
+		o.Seed = int64(s + 1)
+		r := Run(o)
+		if r.Err != nil {
+			return ok, violations, firstViolation, r.Err
+		}
+		if r.Linearizable {
+			ok++
+		} else {
+			violations++
+			if firstViolation == nil {
+				cp := r
+				firstViolation = &cp
+			}
+		}
+	}
+	return ok, violations, firstViolation, nil
+}

@@ -1,0 +1,181 @@
+package crashtest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cxl0/internal/core"
+	"cxl0/internal/ds"
+	"cxl0/internal/flit"
+	"cxl0/internal/history"
+	"cxl0/internal/memsim"
+)
+
+// TestDurableLinearizabilityIsLocal exercises the paper's composability
+// claim: "combining (durably) linearizable objects yields (durably)
+// linearizable histories". Two independent objects — a queue and a map —
+// share the cluster, the memory host, the FliT counter table, and the
+// crash; each object's projected history must be durably linearizable on
+// its own, with no cross-object reasoning.
+func TestDurableLinearizabilityIsLocal(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cluster := memsim.NewCluster([]memsim.MachineConfig{
+			{Name: "computeA", Mem: core.NonVolatile, Heap: 16},
+			{Name: "computeB", Mem: core.NonVolatile, Heap: 16},
+			{Name: "memhost", Mem: core.NonVolatile, Heap: 8192},
+		}, memsim.Config{EvictEvery: 6, Seed: seed})
+
+		heap, err := flit.NewHeap(cluster, memHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setupTh, err := cluster.NewThread(computeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := flit.NewSession(flit.CXL0FliT, setupTh)
+		queue, err := ds.NewQueue(heap, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hmap, err := ds.NewMap(heap, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var qRec, mRec history.Recorder
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				machine := computeA
+				if w%2 == 1 {
+					machine = computeB
+				}
+				th, err := cluster.NewThread(machine)
+				if err != nil {
+					errs <- err
+					return
+				}
+				se := flit.NewSession(flit.CXL0FliT, th)
+				rng := rand.New(rand.NewSource(seed*100 + int64(w)))
+				for i := 0; i < 6; i++ {
+					var err error
+					if rng.Intn(2) == 0 {
+						err = queueOp(queue, se, &qRec, cluster, w, rng)
+					} else {
+						err = mapOp(hmap, se, &mRec, cluster, w, rng)
+					}
+					if err == memsim.ErrCrashed {
+						return
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		// Crash the shared memory host mid-run.
+		cluster.Crash(memHost)
+		cluster.Recover(memHost)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		// Observe both objects with a fresh client.
+		obsTh, err := cluster.NewThread(computeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := flit.NewSession(flit.CXL0FliT, obsTh)
+		if err := queue.Recover(obs); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			tok := qRec.Begin(9, "deq", 0, 0, cluster.Stamp())
+			v, ok, err := queue.Dequeue(obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qRec.End(tok, v, ok, cluster.Stamp())
+			if !ok {
+				break
+			}
+		}
+		for k := core.Val(1); k <= keySpace; k++ {
+			tok := mRec.Begin(9, "get", k, 0, cluster.Stamp())
+			v, ok, err := hmap.Get(obs, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mRec.End(tok, v, ok, cluster.Stamp())
+		}
+
+		qh, mh := qRec.History(), mRec.History()
+		if err := qh.WellFormed(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mh.WellFormed(); err != nil {
+			t.Fatal(err)
+		}
+		if !history.Linearizable(qh, history.QueueSpec{}) {
+			t.Fatalf("seed %d: queue projection not durably linearizable: %v", seed, qh.Ops)
+		}
+		if !history.LinearizablePartitioned(mh, history.ByKey, history.MapSpec{}) {
+			t.Fatalf("seed %d: map projection not durably linearizable: %v", seed, mh.Ops)
+		}
+	}
+}
+
+func queueOp(q *ds.Queue, se *flit.Session, rec *history.Recorder, cl *memsim.Cluster, client int, rng *rand.Rand) error {
+	if rng.Intn(2) == 0 {
+		v := core.Val(1 + rng.Intn(keySpace))
+		tok := rec.Begin(client, "enq", v, 0, cl.Stamp())
+		if err := q.Enqueue(se, v); err != nil {
+			return err
+		}
+		rec.End(tok, 0, true, cl.Stamp())
+		return nil
+	}
+	tok := rec.Begin(client, "deq", 0, 0, cl.Stamp())
+	v, ok, err := q.Dequeue(se)
+	if err != nil {
+		return err
+	}
+	rec.End(tok, v, ok, cl.Stamp())
+	return nil
+}
+
+func mapOp(m *ds.Map, se *flit.Session, rec *history.Recorder, cl *memsim.Cluster, client int, rng *rand.Rand) error {
+	k := core.Val(1 + rng.Intn(keySpace))
+	switch rng.Intn(3) {
+	case 0:
+		v := core.Val(1 + rng.Intn(9))
+		tok := rec.Begin(client, "put", k, v, cl.Stamp())
+		if err := m.Put(se, k, v); err != nil {
+			return err
+		}
+		rec.End(tok, 0, true, cl.Stamp())
+	case 1:
+		tok := rec.Begin(client, "get", k, 0, cl.Stamp())
+		v, ok, err := m.Get(se, k)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, v, ok, cl.Stamp())
+	default:
+		tok := rec.Begin(client, "del", k, 0, cl.Stamp())
+		ok, err := m.Delete(se, k)
+		if err != nil {
+			return err
+		}
+		rec.End(tok, 0, ok, cl.Stamp())
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package cxlsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBiasFlipOnHostAccess: touching a device-biased page from the host
+// reclaims ownership (one MemRd), flips the page to host bias, and
+// preserves the device's dirty data.
+func TestBiasFlipOnHostAccess(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HDM, 3}
+	sys.SetBias(a, DeviceBias)
+	sys.DevLStore(a, 77) // device writes its own page directly: no traffic
+	if sys.An.Len() != 0 {
+		t.Fatalf("device-bias store emitted %v", sys.An.Ops())
+	}
+
+	v := sys.HostLoad(a)
+	if v != 77 {
+		t.Errorf("host read %d across bias flip, want 77", v)
+	}
+	ops := sys.An.Ops()
+	if len(ops) == 0 || ops[0] != MemRd {
+		t.Errorf("bias reclaim not observed: %v", ops)
+	}
+	if sys.BiasOf(a) != HostBias {
+		t.Errorf("page still device-biased after host access")
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Error(err)
+	}
+
+	// Subsequent device access now follows host-bias flows.
+	sys.An.Reset()
+	sys.DevLStore(a, 78)
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{RdOwn}) {
+		t.Errorf("post-flip device store = %v, want [RdOwn]", got)
+	}
+}
+
+// TestBiasFlipPreservesPersistedData: host MStore to a device-biased page
+// reclaims, then writes memory; nothing is lost.
+func TestBiasFlipPreservesPersistedData(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HDM, 4}
+	sys.SetBias(a, DeviceBias)
+	sys.DevLStore(a, 5)
+	sys.DevRFlush(a) // device-bias flush: internal, persists 5
+	if sys.Mem(a) != 5 {
+		t.Fatalf("setup: device flush did not persist")
+	}
+	sys.HostMStore(a, 6)
+	if sys.Mem(a) != 6 {
+		t.Errorf("host MStore lost across bias flip: %d", sys.Mem(a))
+	}
+	if sys.BiasOf(a) != HostBias {
+		t.Errorf("bias not flipped")
+	}
+}
+
+// TestSetBiasOnHMPanics: bias applies to HDM only.
+func TestSetBiasOnHMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetBias on HM did not panic")
+		}
+	}()
+	NewSystem().SetBias(Addr{HM, 0}, DeviceBias)
+}
+
+// TestTable1UnaffectedByBiasFlip: the Table 1 generator uses host-biased
+// lines, so the flip machinery must not alter the regenerated mapping.
+func TestTable1UnaffectedByBiasFlip(t *testing.T) {
+	want := PaperTable1()
+	for _, cell := range GenerateTable1() {
+		if exp, ok := want[cell.CellKey()]; ok && cell.Available {
+			if !reflect.DeepEqual(cell.Observed, exp) {
+				t.Errorf("%s changed: %v vs %v", cell.CellKey(), cell.Observed, exp)
+			}
+		}
+	}
+}

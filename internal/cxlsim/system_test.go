@@ -1,0 +1,238 @@
+package cxlsim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cxl0/internal/coherence"
+)
+
+func TestHostLoadHM(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HM, 1}
+
+	// Cold read: no device copy, no transaction, value from memory.
+	sys.SetLine(a, coherence.Invalid, coherence.Invalid, 10)
+	if v := sys.HostLoad(a); v != 10 {
+		t.Errorf("cold host load = %d, want 10", v)
+	}
+	if sys.An.Len() != 0 {
+		t.Errorf("cold host load emitted %v", sys.An.Ops())
+	}
+
+	// Device holds a dirty copy: SnpInv and the dirty value is returned.
+	sys = NewSystem()
+	sys.SetLine(a, coherence.Invalid, coherence.Modified, 10)
+	if v := sys.HostLoad(a); v != 110 {
+		t.Errorf("host load of device-dirty line = %d, want 110", v)
+	}
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{SnpInv}) {
+		t.Errorf("transactions = %v, want [SnpInv]", got)
+	}
+	if sys.DevState(a).Valid() {
+		t.Errorf("device copy not invalidated")
+	}
+	if sys.Mem(a) != 110 {
+		t.Errorf("dirty data not written back: mem=%d", sys.Mem(a))
+	}
+}
+
+func TestHostLoadHDM(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HDM, 2}
+	sys.SetLine(a, coherence.Invalid, coherence.Modified, 20)
+	if v := sys.HostLoad(a); v != 120 {
+		t.Errorf("host HDM load = %d, want 120 (device's dirty value)", v)
+	}
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{MemRdData}) {
+		t.Errorf("transactions = %v, want [MemRdData]", got)
+	}
+	// Warm read: no traffic.
+	sys.An.Reset()
+	if v := sys.HostLoad(a); v != 120 || sys.An.Len() != 0 {
+		t.Errorf("warm HDM load: v=%d txns=%v", v, sys.An.Ops())
+	}
+}
+
+func TestHostStoreThenDeviceRead(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HM, 3}
+	sys.HostLStore(a, 42)
+	if v := sys.DevLoad(a); v != 42 {
+		t.Errorf("device read after host store = %d, want 42", v)
+	}
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{RdShared}) {
+		t.Errorf("transactions = %v, want [RdShared]", got)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceWriteInvalidatesHost(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HM, 4}
+	sys.SetLine(a, coherence.Modified, coherence.Invalid, 5)
+	sys.DevLStore(a, 77)
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{RdOwn}) {
+		t.Errorf("transactions = %v, want [RdOwn]", got)
+	}
+	if sys.HostState(a).Valid() {
+		t.Errorf("host copy survived device RdOwn")
+	}
+	if v := sys.DevLoad(a); v != 77 {
+		t.Errorf("device readback = %d, want 77", v)
+	}
+	// The host's dirty value was written back before being overwritten in
+	// the device cache; memory holds the host's old dirty data until the
+	// device flushes.
+	if sys.Mem(a) != 105 {
+		t.Errorf("host dirty writeback missing: mem=%d, want 105", sys.Mem(a))
+	}
+}
+
+func TestDevRStorePushesIntoHostCache(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HM, 5}
+	sys.DevRStore(a, 9)
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{ItoMWr}) {
+		t.Errorf("transactions = %v, want [ItoMWr]", got)
+	}
+	if sys.HostState(a) != coherence.Modified {
+		t.Errorf("host cache state = %v, want M", sys.HostState(a))
+	}
+	if sys.Mem(a) == 9 {
+		t.Errorf("RStore must land in the host cache, not memory")
+	}
+	sys.An.Reset()
+	if v := sys.HostLoad(a); v != 9 || sys.An.Len() != 0 {
+		t.Errorf("host read of pushed line: v=%d txns=%v", v, sys.An.Ops())
+	}
+}
+
+func TestDevMStorePersistsUnderAllModes(t *testing.T) {
+	for _, mode := range []WriteMode{CacheableWrite, WeaklyOrderedWrite, NonCacheableWrite} {
+		sys := NewSystem()
+		sys.DevWriteMode = mode
+		a := Addr{HM, 6}
+		sys.SetLine(a, coherence.Shared, coherence.Shared, 1)
+		sys.DevMStore(a, 88)
+		if sys.Mem(a) != 88 {
+			t.Errorf("mode %v: MStore did not reach memory: %d", mode, sys.Mem(a))
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestHostMStoreReachesDeviceMemory(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HDM, 7}
+	sys.SetLine(a, coherence.Modified, coherence.Invalid, 3)
+	sys.HostMStore(a, 66)
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{MemWr}) {
+		t.Errorf("transactions = %v, want [MemWr]", got)
+	}
+	if sys.Mem(a) != 66 {
+		t.Errorf("MStore value not in device memory: %d", sys.Mem(a))
+	}
+	if sys.HostState(a).Valid() {
+		t.Errorf("host cache still valid after NT store")
+	}
+}
+
+func TestHostRFlushWritesBackDirtyHDM(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HDM, 8}
+	sys.HostLStore(a, 31) // host gains M
+	sys.An.Reset()
+	sys.HostRFlush(a)
+	if got := sys.An.Ops(); !reflect.DeepEqual(got, []TxnOp{MemWr}) {
+		t.Errorf("transactions = %v, want [MemWr]", got)
+	}
+	if sys.Mem(a) != 31 {
+		t.Errorf("flush did not persist: mem=%d", sys.Mem(a))
+	}
+}
+
+func TestDeviceBiasDirectAccess(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HDM, 9}
+	sys.SetBias(a, DeviceBias)
+	sys.DevLStore(a, 12)
+	sys.DevRFlush(a)
+	if sys.An.Len() != 0 {
+		t.Errorf("device-bias access emitted link traffic: %v", sys.An.Ops())
+	}
+	if sys.Mem(a) != 12 {
+		t.Errorf("device-bias store+flush did not persist: %d", sys.Mem(a))
+	}
+	if v := sys.DevLoad(a); v != 12 {
+		t.Errorf("device-bias load = %d, want 12", v)
+	}
+}
+
+func TestUnavailablePrimitives(t *testing.T) {
+	sys := NewSystem()
+	a := Addr{HM, 10}
+	if err := sys.HostRStore(a, 1); !errors.Is(err, ErrNotAvailable) {
+		t.Errorf("HostRStore err = %v", err)
+	}
+	if err := sys.HostLFlush(a); !errors.Is(err, ErrNotAvailable) {
+		t.Errorf("HostLFlush err = %v", err)
+	}
+	if err := sys.DevLFlush(a); !errors.Is(err, ErrNotAvailable) {
+		t.Errorf("DevLFlush err = %v", err)
+	}
+}
+
+// TestCoherenceAfterRandomOps drives a long pseudo-random operation mix and
+// checks MESI legality and read-your-writes throughout.
+func TestCoherenceAfterRandomOps(t *testing.T) {
+	sys := NewSystem()
+	addrs := []Addr{{HM, 0}, {HM, 1}, {HDM, 0}, {HDM, 1}}
+	last := map[Addr]uint64{}
+	seed := uint64(12345)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	for i := 0; i < 3000; i++ {
+		a := addrs[next(len(addrs))]
+		v := uint64(next(1000))
+		switch next(7) {
+		case 0:
+			sys.HostLStore(a, v)
+			last[a] = v
+		case 1:
+			sys.HostMStore(a, v)
+			last[a] = v
+		case 2:
+			sys.DevLStore(a, v)
+			last[a] = v
+		case 3:
+			sys.DevRStore(a, v)
+			last[a] = v
+		case 4:
+			sys.DevMStore(a, v)
+			last[a] = v
+		case 5:
+			sys.HostRFlush(a)
+		case 6:
+			sys.DevRFlush(a)
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if w, ok := last[a]; ok {
+			if got := sys.HostLoad(a); got != w {
+				t.Fatalf("op %d: host read %d, want %d at %v", i, got, w, a)
+			}
+			if got := sys.DevLoad(a); got != w {
+				t.Fatalf("op %d: device read %d, want %d at %v", i, got, w, a)
+			}
+		}
+	}
+}

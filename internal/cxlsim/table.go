@@ -1,0 +1,242 @@
+package cxlsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cxl0/internal/coherence"
+)
+
+// Node distinguishes the issuing side of a Table 1 row.
+type Node int
+
+const (
+	// NodeHost rows are issued by the CPU.
+	NodeHost Node = iota
+	// NodeDevice rows are issued by the Type-2 device.
+	NodeDevice
+)
+
+func (n Node) String() string {
+	if n == NodeHost {
+		return "Host"
+	}
+	return "Device"
+}
+
+// Primitive enumerates the CXL0 primitives of Table 1's rows.
+type Primitive int
+
+const (
+	PRead Primitive = iota
+	PLStore
+	PRStore
+	PMStore
+	PLFlush
+	PRFlush
+)
+
+var primNames = [...]string{"Read", "LStore", "RStore", "MStore", "LFlush", "RFlush"}
+
+func (p Primitive) String() string { return primNames[p] }
+
+// Primitives lists Table 1's rows in order.
+var Primitives = []Primitive{PRead, PLStore, PRStore, PMStore, PLFlush, PRFlush}
+
+// OperationName returns Table 1's "Operation" column: the instruction or IP
+// flow used to realize the primitive, or "???" when unavailable.
+func OperationName(n Node, p Primitive) string {
+	if n == NodeHost {
+		switch p {
+		case PRead:
+			return "Load"
+		case PLStore:
+			return "Store"
+		case PMStore:
+			return "Non-Temporal Store + Fence"
+		case PRFlush:
+			return "CLFlush"
+		}
+		return "???"
+	}
+	switch p {
+	case PRead:
+		return "Caching Read"
+	case PLStore:
+		return "Caching Write"
+	case PRStore:
+		return "HM: ItoMWr / HDM: Caching Write"
+	case PMStore:
+		return "Caching Write + CLFlush"
+	case PRFlush:
+		return "CLFlush"
+	}
+	return "???"
+}
+
+// Cell is one Table 1 cell: the set of distinct link-transaction sequences
+// observed across all legal initial MESI state pairs (and, for the device
+// MStore row, all IP write modes). "None" records a trial with no link
+// traffic.
+type Cell struct {
+	Node      Node
+	Prim      Primitive
+	Target    Region
+	Available bool
+	// Observed is the sorted set of distinct sequences, e.g.
+	// ["None", "SnpInv"] or ["DirtyEvict", "RdOwn + DirtyEvict"].
+	Observed []string
+	// ByState maps "(H,D)" (plus "/mode" for multi-mode rows) to the
+	// sequence observed from that initial state.
+	ByState map[string]string
+}
+
+// seqString renders an analyzer capture as a Table 1 entry.
+func seqString(ops []TxnOp) string {
+	if len(ops) == 0 {
+		return "None"
+	}
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// runPrimitive executes one primitive on a fresh system prepared in the
+// given state pair and returns the observed transaction sequence. ok=false
+// means the primitive is unavailable.
+func runPrimitive(n Node, p Primitive, a Addr, h, d coherence.State, mode WriteMode) (string, bool) {
+	sys := NewSystem()
+	sys.DevWriteMode = mode
+	sys.SetLine(a, h, d, 7)
+	switch n {
+	case NodeHost:
+		switch p {
+		case PRead:
+			sys.HostLoad(a)
+		case PLStore:
+			sys.HostLStore(a, 55)
+		case PMStore:
+			sys.HostMStore(a, 55)
+		case PRFlush:
+			sys.HostRFlush(a)
+		default:
+			return "", false
+		}
+	default:
+		switch p {
+		case PRead:
+			sys.DevLoad(a)
+		case PLStore:
+			sys.DevLStore(a, 55)
+		case PRStore:
+			sys.DevRStore(a, 55)
+		case PMStore:
+			sys.DevMStore(a, 55)
+		case PRFlush:
+			sys.DevRFlush(a)
+		default:
+			return "", false
+		}
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		panic(err)
+	}
+	return seqString(sys.An.Ops()), true
+}
+
+// GenerateTable1 regenerates the paper's Table 1 by driving every primitive
+// from every legal initial MESI state pair through the simulator and
+// recording the link traffic.
+//
+// Enumeration notes, mirroring the paper's measurement protocol: device
+// flush rows are exercised only from states in which the device holds the
+// line (flushing an absent line is a no-op the paper's table omits), and the
+// device MStore-to-HM row is exercised under all three IP write modes,
+// which is where the WOWrInv/F and WrInv alternatives come from.
+func GenerateTable1() []Cell {
+	var cells []Cell
+	for _, n := range []Node{NodeHost, NodeDevice} {
+		for _, p := range Primitives {
+			for _, reg := range []Region{HM, HDM} {
+				cells = append(cells, generateCell(n, p, reg))
+			}
+		}
+	}
+	return cells
+}
+
+func generateCell(n Node, p Primitive, reg Region) Cell {
+	cell := Cell{Node: n, Prim: p, Target: reg, ByState: map[string]string{}}
+	a := Addr{Region: reg, Line: 1}
+	modes := []WriteMode{CacheableWrite}
+	if n == NodeDevice && p == PMStore && reg == HM {
+		modes = []WriteMode{CacheableWrite, WeaklyOrderedWrite, NonCacheableWrite}
+	}
+	set := map[string]bool{}
+	for _, pair := range coherence.LegalPairs() {
+		h, d := pair[0], pair[1]
+		if n == NodeDevice && p == PRFlush && !d.Valid() {
+			continue // flushes are measured on lines the device holds
+		}
+		for _, mode := range modes {
+			seq, ok := runPrimitive(n, p, a, h, d, mode)
+			if !ok {
+				return cell // unavailable: Available stays false
+			}
+			key := fmt.Sprintf("(%v,%v)", h, d)
+			if len(modes) > 1 {
+				key += "/" + map[WriteMode]string{CacheableWrite: "cache", WeaklyOrderedWrite: "wo", NonCacheableWrite: "nc"}[mode]
+			}
+			cell.ByState[key] = seq
+			set[seq] = true
+		}
+	}
+	cell.Available = true
+	for s := range set {
+		cell.Observed = append(cell.Observed, s)
+	}
+	sort.Strings(cell.Observed)
+	return cell
+}
+
+// PaperTable1 is the expected content of every Table 1 cell as printed in
+// the paper, used to verify the regenerated mapping. Sequences within a
+// cell are sorted.
+func PaperTable1() map[string][]string {
+	return map[string][]string{
+		"Host/Read/HM":      {"None", "SnpInv"},
+		"Host/Read/HDM":     {"MemRdData", "None"},
+		"Host/LStore/HM":    {"None", "SnpInv"},
+		"Host/LStore/HDM":   {"MemRd", "MemRdData", "None"},
+		"Host/MStore/HM":    {"SnpInv"},
+		"Host/MStore/HDM":   {"MemWr"},
+		"Host/RFlush/HM":    {"None", "SnpInv"},
+		"Host/RFlush/HDM":   {"MemInv", "MemWr", "None"},
+		"Device/Read/HM":    {"None", "RdShared"},
+		"Device/Read/HDM":   {"None", "RdShared"},
+		"Device/LStore/HM":  {"None", "RdOwn"},
+		"Device/LStore/HDM": {"None", "RdOwn"},
+		"Device/RStore/HM":  {"ItoMWr"},
+		"Device/RStore/HDM": {"None", "RdOwn"},
+		"Device/MStore/HM":  {"DirtyEvict", "RdOwn + DirtyEvict", "WOWrInv/F", "WrInv"},
+		"Device/MStore/HDM": {"MemRd", "None"},
+		"Device/RFlush/HM":  {"CleanEvict", "DirtyEvict"},
+		"Device/RFlush/HDM": {"MemRd", "None"},
+	}
+}
+
+// CellKey returns the PaperTable1 lookup key for a cell.
+func (c Cell) CellKey() string {
+	return fmt.Sprintf("%v/%v/%v", c.Node, c.Prim, c.Target)
+}
+
+// Unavailable lists the (node, primitive) combinations marked ??? in
+// Table 1.
+func Unavailable() [][2]string {
+	return [][2]string{
+		{"Host", "RStore"}, {"Host", "LFlush"}, {"Device", "LFlush"},
+	}
+}

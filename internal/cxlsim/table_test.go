@@ -1,0 +1,108 @@
+package cxlsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTable1MatchesPaper regenerates every Table 1 cell from the simulator
+// and compares the observed transaction sets with the paper's.
+func TestTable1MatchesPaper(t *testing.T) {
+	want := PaperTable1()
+	covered := map[string]bool{}
+	for _, cell := range GenerateTable1() {
+		key := cell.CellKey()
+		exp, ok := want[key]
+		if !ok {
+			// Must be an unavailable row (??? in the paper).
+			if cell.Available {
+				t.Errorf("%s: simulator produced %v but the paper marks no such cell", key, cell.Observed)
+			}
+			continue
+		}
+		covered[key] = true
+		if !cell.Available {
+			t.Errorf("%s: primitive unexpectedly unavailable", key)
+			continue
+		}
+		if !reflect.DeepEqual(cell.Observed, exp) {
+			t.Errorf("%s: observed %v, paper says %v\n  per-state: %v", key, cell.Observed, exp, cell.ByState)
+		}
+	}
+	for key := range want {
+		if !covered[key] {
+			t.Errorf("cell %s never generated", key)
+		}
+	}
+}
+
+// TestTable1UnavailableRows checks the ??? rows: host RStore/LFlush and
+// device LFlush have no realizable flow.
+func TestTable1UnavailableRows(t *testing.T) {
+	unavailable := map[string]bool{}
+	for _, cell := range GenerateTable1() {
+		if !cell.Available {
+			unavailable[cell.Node.String()+"/"+cell.Prim.String()] = true
+		}
+	}
+	want := Unavailable()
+	if len(unavailable) != len(want) {
+		t.Errorf("unavailable rows = %v, want %v", unavailable, want)
+	}
+	for _, u := range want {
+		if !unavailable[u[0]+"/"+u[1]] {
+			t.Errorf("row %s/%s should be unavailable", u[0], u[1])
+		}
+	}
+}
+
+// TestTable1ManyToOne verifies the paper's observation that the mapping
+// from CXL transactions to CXL0 primitives is many-to-one: the same
+// transaction appears under several primitives.
+func TestTable1ManyToOne(t *testing.T) {
+	users := map[string]map[string]bool{}
+	for _, cell := range GenerateTable1() {
+		if !cell.Available {
+			continue
+		}
+		for _, seq := range cell.Observed {
+			if seq == "None" {
+				continue
+			}
+			if users[seq] == nil {
+				users[seq] = map[string]bool{}
+			}
+			users[seq][cell.CellKey()] = true
+		}
+	}
+	multi := 0
+	for _, cells := range users {
+		if len(cells) > 1 {
+			multi++
+		}
+	}
+	if multi < 3 {
+		t.Errorf("mapping not visibly many-to-one: only %d shared sequences", multi)
+	}
+}
+
+// TestOperationNames spot-checks Table 1's operation column.
+func TestOperationNames(t *testing.T) {
+	cases := []struct {
+		node Node
+		prim Primitive
+		want string
+	}{
+		{NodeHost, PMStore, "Non-Temporal Store + Fence"},
+		{NodeHost, PRStore, "???"},
+		{NodeHost, PLFlush, "???"},
+		{NodeDevice, PLFlush, "???"},
+		{NodeDevice, PRStore, "HM: ItoMWr / HDM: Caching Write"},
+		{NodeDevice, PRFlush, "CLFlush"},
+	}
+	for _, c := range cases {
+		if got := OperationName(c.node, c.prim); got != c.want {
+			t.Errorf("OperationName(%v,%v) = %q, want %q", c.node, c.prim, got, c.want)
+		}
+	}
+}

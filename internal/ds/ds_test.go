@@ -1,0 +1,505 @@
+package ds
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"cxl0/internal/core"
+	"cxl0/internal/flit"
+	"cxl0/internal/memsim"
+)
+
+// rig builds a two-machine cluster with memory on machine 1 and a session
+// for a thread on machine 0 (so every access is remote — the interesting
+// case).
+func rig(t *testing.T, strat flit.Strategy) (*memsim.Cluster, *flit.Heap, *flit.Session) {
+	t.Helper()
+	c := memsim.NewCluster([]memsim.MachineConfig{
+		{Name: "compute", Mem: core.NonVolatile, Heap: 16},
+		{Name: "memory", Mem: core.NonVolatile, Heap: 4096},
+	}, memsim.Config{EvictEvery: 5, Seed: 11})
+	th, err := c.NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := flit.NewHeap(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, h, flit.NewSession(strat, th)
+}
+
+func session(t *testing.T, c *memsim.Cluster, m core.MachineID, strat flit.Strategy) *flit.Session {
+	t.Helper()
+	th, err := c.NewThread(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flit.NewSession(strat, th)
+}
+
+func TestRegisterSequential(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	r, err := NewRegister(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Read(se); v != 0 {
+		t.Errorf("initial value %d", v)
+	}
+	if err := r.Write(se, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Read(se); v != 42 {
+		t.Errorf("read %d, want 42", v)
+	}
+	ok, _ := r.CompareAndSwap(se, 42, 43)
+	if !ok {
+		t.Errorf("CAS 42->43 failed")
+	}
+	ok, _ = r.CompareAndSwap(se, 42, 44)
+	if ok {
+		t.Errorf("CAS with stale expectation succeeded")
+	}
+	if err := r.Write(se, -1); err != ErrNegative {
+		t.Errorf("negative write: %v", err)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c, h, se := rig(t, flit.CXL0FliT)
+	ctr, err := NewCounter(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = se
+	var wg sync.WaitGroup
+	const goroutines, per = 4, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := session(t, c, core.MachineID(g%2), flit.CXL0FliT)
+			for i := 0; i < per; i++ {
+				if _, err := ctr.Inc(s); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	v, err := ctr.Value(session(t, c, 0, flit.CXL0FliT))
+	if err != nil || v != goroutines*per {
+		t.Errorf("counter = %d, %v; want %d", v, err, goroutines*per)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	s, err := NewStack(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := core.Val(1); i <= 5; i++ {
+		if err := s.Push(se, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Drain(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Val{5, 4, 3, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("drain = %v, want %v", got, want)
+	}
+	if _, ok, _ := s.Pop(se); ok {
+		t.Errorf("pop from empty stack succeeded")
+	}
+}
+
+func TestStackConcurrentPushPop(t *testing.T) {
+	c, h, _ := rig(t, flit.CXL0FliT)
+	s, err := NewStack(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	var wg sync.WaitGroup
+	popped := make(chan core.Val, n)
+	for g := 0; g < 2; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(g), flit.CXL0FliT)
+			for i := 0; i < n/2; i++ {
+				if err := s.Push(se, core.Val(g*1000+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(g), flit.CXL0FliT)
+			for i := 0; i < n/2; i++ {
+				if v, ok, err := s.Pop(se); err != nil {
+					t.Error(err)
+					return
+				} else if ok {
+					popped <- v
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(popped)
+	seen := map[core.Val]bool{}
+	for v := range popped {
+		if seen[v] {
+			t.Errorf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	// Drain the remainder; total must equal pushes.
+	se := session(t, c, 0, flit.CXL0FliT)
+	rest, err := s.Drain(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rest {
+		if seen[v] {
+			t.Errorf("value %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Errorf("got %d distinct values, want %d", len(seen), n)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	q, err := NewQueue(h, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := core.Val(1); i <= 5; i++ {
+		if err := q.Enqueue(se, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := q.Drain(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Val{10, 20, 30, 40, 50}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("drain = %v, want %v", got, want)
+	}
+	if _, ok, _ := q.Dequeue(se); ok {
+		t.Errorf("dequeue from empty queue succeeded")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	c, h, se0 := rig(t, flit.CXL0FliT)
+	q, err := NewQueue(h, se0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, per = 3, 40
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(p%2), flit.CXL0FliT)
+			for i := 0; i < per; i++ {
+				if err := q.Enqueue(se, core.Val(p*1000+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	got := make(chan core.Val, producers*per)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		se := session(t, c, 1, flit.CXL0FliT)
+		for n := 0; n < producers*per; {
+			v, ok, err := q.Dequeue(se)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ok {
+				got <- v
+				n++
+			}
+		}
+	}()
+	wg.Wait()
+	close(got)
+	// Per-producer FIFO order must hold.
+	lastPer := map[int]core.Val{}
+	count := 0
+	for v := range got {
+		p := int(v / 1000)
+		if last, ok := lastPer[p]; ok && v <= last {
+			t.Errorf("producer %d order violated: %d after %d", p, v, last)
+		}
+		lastPer[p] = v
+		count++
+	}
+	if count != producers*per {
+		t.Errorf("dequeued %d values, want %d", count, producers*per)
+	}
+}
+
+func TestSetSequential(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	s, err := NewSet(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []core.Val{5, 1, 9, 3} {
+		if ok, err := s.Insert(se, k); err != nil || !ok {
+			t.Fatalf("insert %d: ok=%v err=%v", k, ok, err)
+		}
+	}
+	if ok, _ := s.Insert(se, 5); ok {
+		t.Errorf("duplicate insert succeeded")
+	}
+	if got, _ := s.Snapshot(se); !reflect.DeepEqual(got, []core.Val{1, 3, 5, 9}) {
+		t.Errorf("snapshot = %v (want sorted 1 3 5 9)", got)
+	}
+	if ok, _ := s.Contains(se, 3); !ok {
+		t.Errorf("contains(3) = false")
+	}
+	if ok, _ := s.Contains(se, 4); ok {
+		t.Errorf("contains(4) = true")
+	}
+	if ok, _ := s.Remove(se, 3); !ok {
+		t.Errorf("remove(3) failed")
+	}
+	if ok, _ := s.Remove(se, 3); ok {
+		t.Errorf("double remove succeeded")
+	}
+	if ok, _ := s.Contains(se, 3); ok {
+		t.Errorf("contains(3) after remove")
+	}
+	if got, _ := s.Snapshot(se); !reflect.DeepEqual(got, []core.Val{1, 5, 9}) {
+		t.Errorf("snapshot = %v", got)
+	}
+}
+
+func TestSetConcurrentDisjointInserts(t *testing.T) {
+	c, h, _ := rig(t, flit.CXL0FliT)
+	s, err := NewSet(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const per = 30
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(g%2), flit.CXL0FliT)
+			for i := 0; i < per; i++ {
+				k := core.Val(i*3 + g)
+				if ok, err := s.Insert(se, k); err != nil || !ok {
+					t.Errorf("insert %d: ok=%v err=%v", k, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	se := session(t, c, 0, flit.CXL0FliT)
+	got, err := s.Snapshot(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3*per {
+		t.Fatalf("set has %d keys, want %d", len(got), 3*per)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("snapshot not sorted: %v", got)
+	}
+}
+
+func TestSetConcurrentInsertRemoveSameKeys(t *testing.T) {
+	c, h, _ := rig(t, flit.CXL0FliT)
+	s, err := NewSet(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(g%2), flit.CXL0FliT)
+			for i := 0; i < 40; i++ {
+				k := core.Val(i % 7)
+				if g%2 == 0 {
+					if _, err := s.Insert(se, k); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := s.Remove(se, k); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	se := session(t, c, 0, flit.CXL0FliT)
+	snap, err := s.Snapshot(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[core.Val]bool{}
+	for _, k := range snap {
+		if seen[k] {
+			t.Errorf("duplicate key %d in set", k)
+		}
+		seen[k] = true
+		if k < 0 || k > 6 {
+			t.Errorf("foreign key %d", k)
+		}
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapSequential(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	m, err := NewMap(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.Get(se, 1); ok {
+		t.Errorf("get on empty map succeeded")
+	}
+	if err := m.Put(se, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(se, 9, 900); err != nil { // likely same bucket as 1 with 8 buckets
+		t.Fatal(err)
+	}
+	if v, ok, _ := m.Get(se, 1); !ok || v != 100 {
+		t.Errorf("get(1) = %d,%v", v, ok)
+	}
+	if err := m.Put(se, 1, 101); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := m.Get(se, 1); !ok || v != 101 {
+		t.Errorf("get(1) after update = %d,%v", v, ok)
+	}
+	if ok, _ := m.Delete(se, 1); !ok {
+		t.Errorf("delete(1) failed")
+	}
+	if _, ok, _ := m.Get(se, 1); ok {
+		t.Errorf("get(1) after delete succeeded")
+	}
+	if v, ok, _ := m.Get(se, 9); !ok || v != 900 {
+		t.Errorf("get(9) = %d,%v", v, ok)
+	}
+	snap, _ := m.Snapshot(se)
+	if len(snap) != 1 || snap[9] != 900 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestMapConcurrentMixed(t *testing.T) {
+	c, h, _ := rig(t, flit.CXL0FliT)
+	m, err := NewMap(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(g%2), flit.CXL0FliT)
+			for i := 0; i < 30; i++ {
+				k := core.Val(i % 5)
+				switch g % 3 {
+				case 0:
+					if err := m.Put(se, k, core.Val(g*100+i)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, err := m.Get(se, k); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := m.Delete(se, k); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	se := session(t, c, 0, flit.CXL0FliT)
+	snap, err := m.Snapshot(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range snap {
+		if k < 0 || k > 4 {
+			t.Errorf("foreign key %d", k)
+		}
+	}
+}
+
+// TestAllStrategiesFunctional runs the queue through every strategy —
+// including the incorrect ones, which must still be functionally correct
+// when no crash occurs.
+func TestAllStrategiesFunctional(t *testing.T) {
+	for _, strat := range flit.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			_, h, se := rig(t, strat)
+			q, err := NewQueue(h, se)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := core.Val(0); i < 10; i++ {
+				if err := q.Enqueue(se, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := q.Drain(se)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 10 {
+				t.Fatalf("drained %d values", len(got))
+			}
+			for i, v := range got {
+				if v != core.Val(i) {
+					t.Errorf("position %d: %d", i, v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package ds
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"cxl0/internal/core"
+	"cxl0/internal/flit"
+	"cxl0/internal/memsim"
+)
+
+func TestLogSequential(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	l, err := NewLog(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := core.Val(1); i <= 3; i++ {
+		idx, err := l.Append(se, i*10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != int(i)-1 {
+			t.Errorf("append %d landed at index %d", i, idx)
+		}
+	}
+	if n, _ := l.Len(se); n != 3 {
+		t.Errorf("Len = %d", n)
+	}
+	if v, ok, _ := l.Get(se, 1); !ok || v != 20 {
+		t.Errorf("Get(1) = %d,%v", v, ok)
+	}
+	if _, _, err := l.Get(se, 3); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get past the frontier: %v", err)
+	}
+	if _, err := l.Append(se, 0); !errors.Is(err, ErrNegative) {
+		t.Errorf("zero entry accepted: %v", err)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	_, h, se := rig(t, flit.CXL0FliT)
+	l, err := NewLog(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(se, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(se, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(se, 3); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("overfull append: %v", err)
+	}
+}
+
+func TestLogConcurrentAppends(t *testing.T) {
+	c, h, _ := rig(t, flit.CXL0FliT)
+	l, err := NewLog(h, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 4, 10
+	indexes := make(chan int, writers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			se := session(t, c, core.MachineID(w%2), flit.CXL0FliT)
+			for i := 0; i < per; i++ {
+				idx, err := l.Append(se, core.Val(w*100+i+1))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				indexes <- idx
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(indexes)
+	seen := map[int]bool{}
+	for idx := range indexes {
+		if seen[idx] {
+			t.Errorf("index %d assigned twice", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("%d distinct indexes, want %d", len(seen), writers*per)
+	}
+	se := session(t, c, 0, flit.CXL0FliT)
+	if n, _ := l.Len(se); n != writers*per {
+		t.Errorf("Len = %d, want %d", n, writers*per)
+	}
+	snap, err := l.Snapshot(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != writers*per {
+		t.Errorf("snapshot has %d entries", len(snap))
+	}
+}
+
+// TestLogSurvivesMemoryHostCrash: committed entries persist; the log is
+// readable after crash + recovery.
+func TestLogSurvivesMemoryHostCrash(t *testing.T) {
+	c, h, se := rig(t, flit.CXL0FliT)
+	l, err := NewLog(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := core.Val(1); i <= 5; i++ {
+		if _, err := l.Append(se, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash(1)
+	c.Recover(1)
+	if err := l.Recover(se); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := l.Snapshot(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 5 {
+		t.Fatalf("lost committed entries: %v", snap)
+	}
+	for i, v := range snap {
+		if v != core.Val(i+1) {
+			t.Errorf("entry %d = %d", i, v)
+		}
+	}
+	// The log keeps working after recovery.
+	if idx, err := l.Append(se, 99); err != nil || idx != 5 {
+		t.Errorf("post-recovery append: idx=%d err=%v", idx, err)
+	}
+}
+
+// TestLogRecoverySealsHoles: an appender that dies between claiming a slot
+// and committing leaves a hole; Recover seals it as a tombstone and later
+// appends proceed.
+func TestLogRecoverySealsHoles(t *testing.T) {
+	c := memsim.NewCluster([]memsim.MachineConfig{
+		{Name: "doomed", Mem: core.NonVolatile, Heap: 16},
+		{Name: "memory", Mem: core.NonVolatile, Heap: 4096},
+		{Name: "survivor", Mem: core.NonVolatile, Heap: 16},
+	}, memsim.Config{})
+	h, err := flit.NewHeap(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomedTh, err := c.NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := flit.NewSession(flit.CXL0FliT, doomedTh)
+	l, err := NewLog(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(doomed, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The doomed client claims slot 1 but its machine dies before the
+	// write: reproduce by claiming through the session's FAA directly.
+	if _, err := doomed.FAA(logClaim(l), 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(0)
+
+	// A survivor recovers and appends.
+	survTh, err := c.NewThread(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv := flit.NewSession(flit.CXL0FliT, survTh)
+	if err := l.Recover(surv); err != nil {
+		t.Fatal(err)
+	}
+	n, err := l.Len(surv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("frontier = %d after recovery, want 2 (entry + sealed hole)", n)
+	}
+	if _, ok, _ := l.Get(surv, 1); ok {
+		t.Errorf("hole not a tombstone")
+	}
+	idx, err := l.Append(surv, 8)
+	if err != nil || idx != 2 {
+		t.Fatalf("post-recovery append: idx=%d err=%v", idx, err)
+	}
+	snap, _ := l.Snapshot(surv)
+	if len(snap) != 2 || snap[0] != 7 || snap[1] != 8 {
+		t.Errorf("snapshot = %v, want [7 8]", snap)
+	}
+}
+
+// logClaim exposes the claim var for the hole test.
+func logClaim(l *Log) flit.Var { return l.claim }

@@ -1,0 +1,175 @@
+package ds
+
+import (
+	"cxl0/internal/core"
+	"cxl0/internal/flit"
+)
+
+// Queue is a durably linearizable Michael–Scott queue. Nodes have two
+// fields: value and next. A dummy node anchors head and tail.
+type Queue struct {
+	h          *flit.Heap
+	head, tail flit.Var
+}
+
+// NewQueue allocates an empty queue on the heap's machine. The dummy node
+// and the head/tail anchors are persisted before the queue is returned.
+func NewQueue(h *flit.Heap, se *flit.Session) (*Queue, error) {
+	anchors, err := h.AllocVars(2)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{h: h, head: anchors[0], tail: anchors[1]}
+	dummy, err := h.AllocNode(2)
+	if err != nil {
+		return nil, err
+	}
+	if err := se.PrivateStore(q.head, ptr(dummy)); err != nil {
+		return nil, err
+	}
+	if err := se.PrivateStore(q.tail, ptr(dummy)); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Enqueue appends v (which must be non-negative).
+func (q *Queue) Enqueue(se *flit.Session, v core.Val) error {
+	if v < 0 {
+		return ErrNegative
+	}
+	base, err := q.h.AllocNode(2)
+	if err != nil {
+		return err
+	}
+	if err := se.PrivateStore(field(q.h, base, 0), v); err != nil {
+		return err
+	}
+	if err := se.PrivateStore(field(q.h, base, 1), nilPtr); err != nil {
+		return err
+	}
+	for {
+		tail, err := se.Load(q.tail)
+		if err != nil {
+			return err
+		}
+		tb, valid := nodeBase(tail)
+		if !valid {
+			return ErrCorrupt // anchor lost: possible only under unsound strategies
+		}
+		next, err := se.Load(field(q.h, tb, 1))
+		if err != nil {
+			return err
+		}
+		if next == nilPtr {
+			linked, err := se.CAS(field(q.h, tb, 1), nilPtr, ptr(base))
+			if err != nil {
+				return err
+			}
+			if linked {
+				// Swing the tail; failure means someone helped.
+				if _, err := se.CAS(q.tail, tail, ptr(base)); err != nil {
+					return err
+				}
+				return se.Complete()
+			}
+		} else {
+			// Tail lags: help advance it.
+			if _, err := se.CAS(q.tail, tail, next); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Dequeue removes the oldest value; ok is false when the queue is empty.
+func (q *Queue) Dequeue(se *flit.Session) (v core.Val, ok bool, err error) {
+	for {
+		head, err := se.Load(q.head)
+		if err != nil {
+			return 0, false, err
+		}
+		tail, err := se.Load(q.tail)
+		if err != nil {
+			return 0, false, err
+		}
+		hb, valid := nodeBase(head)
+		if !valid {
+			return 0, false, se.Complete() // anchor lost: read as empty
+		}
+		next, err := se.Load(field(q.h, hb, 1))
+		if err != nil {
+			return 0, false, err
+		}
+		if head == tail {
+			if next == nilPtr {
+				return 0, false, se.Complete()
+			}
+			// Tail lags behind a linked node: help.
+			if _, err := se.CAS(q.tail, tail, next); err != nil {
+				return 0, false, err
+			}
+			continue
+		}
+		nb, valid := nodeBase(next)
+		if !valid {
+			// head != tail yet head.next is nil: impossible in an intact
+			// queue (links are never cleared), so a crash under an unsound
+			// strategy lost the link. Read as empty rather than spinning.
+			return 0, false, se.Complete()
+		}
+		val, err := se.Load(field(q.h, nb, 0))
+		if err != nil {
+			return 0, false, err
+		}
+		swapped, err := se.CAS(q.head, head, next)
+		if err != nil {
+			return 0, false, err
+		}
+		if swapped {
+			return val, true, se.Complete()
+		}
+	}
+}
+
+// Recover repairs the queue after a crash: a lagging tail (the enqueue's
+// second CAS may not have happened or persisted) is advanced to the last
+// linked node. The queue is usable without calling Recover — operations
+// help lagging tails anyway — but recovery bounds the lag.
+func (q *Queue) Recover(se *flit.Session) error {
+	for {
+		tail, err := se.Load(q.tail)
+		if err != nil {
+			return err
+		}
+		tb, valid := nodeBase(tail)
+		if !valid {
+			return nil // anchor lost: nothing to repair
+		}
+		next, err := se.Load(field(q.h, tb, 1))
+		if err != nil {
+			return err
+		}
+		if next == nilPtr {
+			return nil
+		}
+		if _, err := se.CAS(q.tail, tail, next); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain dequeues until empty, returning values in FIFO order.
+func (q *Queue) Drain(se *flit.Session) ([]core.Val, error) {
+	var out []core.Val
+	for {
+		v, ok, err := q.Dequeue(se)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+	}
+}

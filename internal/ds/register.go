@@ -1,0 +1,87 @@
+package ds
+
+import (
+	"cxl0/internal/core"
+	"cxl0/internal/flit"
+)
+
+// Register is a durably linearizable atomic register.
+type Register struct {
+	v flit.Var
+}
+
+// NewRegister allocates a register on the heap's machine, initialized to 0.
+func NewRegister(h *flit.Heap) (*Register, error) {
+	v, err := h.AllocVar()
+	if err != nil {
+		return nil, err
+	}
+	return &Register{v: v}, nil
+}
+
+// Read returns the register's value.
+func (r *Register) Read(se *flit.Session) (core.Val, error) {
+	v, err := se.Load(r.v)
+	if err != nil {
+		return 0, err
+	}
+	return v, se.Complete()
+}
+
+// Write sets the register's value.
+func (r *Register) Write(se *flit.Session, v core.Val) error {
+	if v < 0 {
+		return ErrNegative
+	}
+	if err := se.Store(r.v, v); err != nil {
+		return err
+	}
+	return se.Complete()
+}
+
+// CompareAndSwap atomically replaces old with new.
+func (r *Register) CompareAndSwap(se *flit.Session, old, new core.Val) (bool, error) {
+	if new < 0 {
+		return false, ErrNegative
+	}
+	ok, err := se.CAS(r.v, old, new)
+	if err != nil {
+		return false, err
+	}
+	return ok, se.Complete()
+}
+
+// Counter is a durably linearizable fetch-and-add counter.
+type Counter struct {
+	v flit.Var
+}
+
+// NewCounter allocates a counter on the heap's machine, initialized to 0.
+func NewCounter(h *flit.Heap) (*Counter, error) {
+	v, err := h.AllocVar()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{v: v}, nil
+}
+
+// Add adds delta and returns the previous value.
+func (c *Counter) Add(se *flit.Session, delta core.Val) (core.Val, error) {
+	prev, err := se.FAA(c.v, delta)
+	if err != nil {
+		return 0, err
+	}
+	return prev, se.Complete()
+}
+
+// Inc increments by one and returns the previous value.
+func (c *Counter) Inc(se *flit.Session) (core.Val, error) { return c.Add(se, 1) }
+
+// Value returns the current count.
+func (c *Counter) Value(se *flit.Session) (core.Val, error) {
+	v, err := se.Load(c.v)
+	if err != nil {
+		return 0, err
+	}
+	return v, se.Complete()
+}

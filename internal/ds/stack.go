@@ -1,0 +1,99 @@
+package ds
+
+import (
+	"cxl0/internal/core"
+	"cxl0/internal/flit"
+)
+
+// Stack is a durably linearizable Treiber stack. Nodes have two fields:
+// value and next.
+type Stack struct {
+	h    *flit.Heap
+	head flit.Var
+}
+
+// NewStack allocates an empty stack whose memory lives on the heap's
+// machine.
+func NewStack(h *flit.Heap) (*Stack, error) {
+	head, err := h.AllocVar()
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{h: h, head: head}, nil
+}
+
+// Push pushes v (which must be non-negative).
+func (s *Stack) Push(se *flit.Session, v core.Val) error {
+	if v < 0 {
+		return ErrNegative
+	}
+	base, err := s.h.AllocNode(2)
+	if err != nil {
+		return err
+	}
+	// The node is private until the CAS publishes it.
+	if err := se.PrivateStore(field(s.h, base, 0), v); err != nil {
+		return err
+	}
+	for {
+		head, err := se.Load(s.head)
+		if err != nil {
+			return err
+		}
+		if err := se.PrivateStore(field(s.h, base, 1), head); err != nil {
+			return err
+		}
+		ok, err := se.CAS(s.head, head, ptr(base))
+		if err != nil {
+			return err
+		}
+		if ok {
+			return se.Complete()
+		}
+	}
+}
+
+// Pop removes the top value; ok is false when the stack is empty.
+func (s *Stack) Pop(se *flit.Session) (v core.Val, ok bool, err error) {
+	for {
+		head, err := se.Load(s.head)
+		if err != nil {
+			return 0, false, err
+		}
+		base, valid := nodeBase(head)
+		if !valid {
+			return 0, false, se.Complete()
+		}
+		next, err := se.Load(field(s.h, base, 1))
+		if err != nil {
+			return 0, false, err
+		}
+		swapped, err := se.CAS(s.head, head, next)
+		if err != nil {
+			return 0, false, err
+		}
+		if swapped {
+			v, err := se.Load(field(s.h, base, 0))
+			if err != nil {
+				return 0, false, err
+			}
+			return v, true, se.Complete()
+		}
+	}
+}
+
+// Drain pops until empty and returns the values in pop order. Intended for
+// recovery inspection and tests.
+func (s *Stack) Drain(se *flit.Session) ([]core.Val, error) {
+	var out []core.Val
+	for {
+		v, ok, err := s.Pop(se)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+	}
+}

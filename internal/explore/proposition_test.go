@@ -1,0 +1,291 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cxl0/internal/core"
+)
+
+// enumStates enumerates every invariant-respecting state of a two-machine
+// topology (machine 0 owns x, machine 1 owns y) over values {0,1}.
+func enumStates(t *testing.T) (*core.Topology, []*core.State) {
+	t.Helper()
+	topo := core.NewTopology()
+	m0 := topo.AddMachine("m1", core.NonVolatile)
+	m1 := topo.AddMachine("m2", core.NonVolatile)
+	topo.AddLoc("x", m0)
+	topo.AddLoc("y", m1)
+
+	vals := []core.Val{core.Bot, 0, 1}
+	var states []*core.State
+	for _, c00 := range vals {
+		for _, c01 := range vals {
+			for _, c10 := range vals {
+				for _, c11 := range vals {
+					for _, mx := range []core.Val{0, 1} {
+						for _, my := range []core.Val{0, 1} {
+							s := core.NewState(topo)
+							s.SetCache(0, 0, c00)
+							s.SetCache(0, 1, c01)
+							s.SetCache(1, 0, c10)
+							s.SetCache(1, 1, c11)
+							s.SetMem(0, mx)
+							s.SetMem(1, my)
+							if s.CheckInvariant() == nil {
+								states = append(states, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return topo, states
+}
+
+type prop struct {
+	name string
+	// lhs ⊆ rhs must hold for every state, machine i and value v.
+	lhs, rhs func(i core.MachineID, x core.LocID, v core.Val) []core.Label
+	// onlyNonOwner restricts the check to machines that do not own x.
+	onlyNonOwner bool
+	// onlyOwner restricts the check to the owner of x.
+	onlyOwner bool
+}
+
+// proposition1 encodes the eight items of Proposition 1 as reach-set
+// inclusions: if γ --lhs--> γ' then γ --rhs--> γ'.
+var proposition1 = []prop{
+	{
+		name: "1: RStore is stronger than LStore",
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.RStoreL(i, x, v)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.LStoreL(i, x, v)}
+		},
+	},
+	{
+		name:      "2: RStore and LStore by the owner are equivalent",
+		onlyOwner: true,
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.LStoreL(i, x, v)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.RStoreL(i, x, v)}
+		},
+	},
+	{
+		name: "3: MStore is stronger than RStore",
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.MStoreL(i, x, v)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.RStoreL(i, x, v)}
+		},
+	},
+	{
+		name: "4: RFlush is stronger than LFlush",
+		lhs:  func(i core.MachineID, x core.LocID, v core.Val) []core.Label { return []core.Label{core.RFlushL(i, x)} },
+		rhs:  func(i core.MachineID, x core.LocID, v core.Val) []core.Label { return []core.Label{core.LFlushL(i, x)} },
+	},
+	{
+		name:         "5: LFlush after RStore by non-owner is redundant",
+		onlyNonOwner: true,
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.RStoreL(i, x, v)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.RStoreL(i, x, v), core.LFlushL(i, x)}
+		},
+	},
+	{
+		name: "6: RFlush after MStore is redundant",
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.MStoreL(i, x, v)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.MStoreL(i, x, v), core.RFlushL(i, x)}
+		},
+	},
+	{
+		name:         "7: RStore by non-owner simulates LStore+LFlush",
+		onlyNonOwner: true,
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.LStoreL(i, x, v), core.LFlushL(i, x)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.RStoreL(i, x, v)}
+		},
+	},
+	{
+		name: "8: MStore simulates LStore+RFlush",
+		lhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.LStoreL(i, x, v), core.RFlushL(i, x)}
+		},
+		rhs: func(i core.MachineID, x core.LocID, v core.Val) []core.Label {
+			return []core.Label{core.MStoreL(i, x, v)}
+		},
+	},
+}
+
+// TestProposition1Exhaustive verifies all eight items of Proposition 1 on
+// every invariant-respecting two-machine state over values {0,1}.
+func TestProposition1Exhaustive(t *testing.T) {
+	topo, states := enumStates(t)
+	if len(states) < 100 {
+		t.Fatalf("state enumeration suspiciously small: %d", len(states))
+	}
+	for _, p := range proposition1 {
+		t.Run(p.name, func(t *testing.T) {
+			checked := 0
+			for _, s := range states {
+				for i := 0; i < topo.NumMachines(); i++ {
+					for x := 0; x < topo.NumLocs(); x++ {
+						mi, lx := core.MachineID(i), core.LocID(x)
+						if p.onlyNonOwner && topo.Owner(lx) == mi {
+							continue
+						}
+						if p.onlyOwner && topo.Owner(lx) != mi {
+							continue
+						}
+						for _, v := range []core.Val{0, 1} {
+							lhs := ReachVia(s, core.Base, p.lhs(mi, lx, v)...)
+							rhs := ReachVia(s, core.Base, p.rhs(mi, lx, v)...)
+							if !Subset(lhs, rhs) {
+								t.Fatalf("state %v, machine %d, loc %d, val %d: lhs ⊄ rhs", s, i, x, v)
+							}
+							checked++
+						}
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no combinations checked")
+			}
+		})
+	}
+}
+
+// randomState builds an invariant-respecting three-machine state from raw
+// random bytes, for property-based checking on a larger topology than the
+// exhaustive test covers.
+func randomState(topo *core.Topology, raw []byte) *core.State {
+	s := core.NewState(topo)
+	at := 0
+	next := func() byte {
+		if len(raw) == 0 {
+			return 0
+		}
+		b := raw[at%len(raw)]
+		at++
+		return b
+	}
+	for l := 0; l < topo.NumLocs(); l++ {
+		// Pick a single cached value (or none) for this location, then
+		// scatter it over a subset of caches so the invariant holds.
+		v := core.Val(next() % 3) // 0,1,2
+		mask := next()
+		if mask%4 != 0 { // 75%: someone caches the line
+			for m := 0; m < topo.NumMachines(); m++ {
+				if mask&(1<<uint(m)) != 0 {
+					s.SetCache(core.MachineID(m), core.LocID(l), v)
+				}
+			}
+		}
+		s.SetMem(core.LocID(l), core.Val(next()%3))
+	}
+	return s
+}
+
+// TestProposition1Randomized property-checks Proposition 1 on random
+// three-machine states using testing/quick.
+func TestProposition1Randomized(t *testing.T) {
+	topo := core.NewTopology()
+	m0 := topo.AddMachine("m1", core.NonVolatile)
+	m1 := topo.AddMachine("m2", core.Volatile)
+	m2 := topo.AddMachine("m3", core.NonVolatile)
+	topo.AddLoc("x", m0)
+	topo.AddLoc("y", m1)
+	topo.AddLoc("z", m2)
+
+	f := func(raw []byte, mRaw, lRaw uint8, vRaw uint8) bool {
+		s := randomState(topo, raw)
+		if s.CheckInvariant() != nil {
+			return false // generator bug
+		}
+		i := core.MachineID(int(mRaw) % topo.NumMachines())
+		x := core.LocID(int(lRaw) % topo.NumLocs())
+		v := core.Val(vRaw % 3)
+		for _, p := range proposition1 {
+			if p.onlyNonOwner && topo.Owner(x) == i {
+				continue
+			}
+			if p.onlyOwner && topo.Owner(x) != i {
+				continue
+			}
+			lhs := ReachVia(s, core.Base, p.lhs(i, x, v)...)
+			rhs := ReachVia(s, core.Base, p.rhs(i, x, v)...)
+			if !Subset(lhs, rhs) {
+				t.Logf("violated %q at state %v i=%d x=%d v=%d", p.name, s, i, x, v)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVariantsRefineBase checks the paper's claim that "every trace allowed
+// by the above variants is also allowed by CXL0" on randomized traces.
+func TestVariantsRefineBase(t *testing.T) {
+	topo := core.NewTopology()
+	m0 := topo.AddMachine("m1", core.NonVolatile)
+	m1 := topo.AddMachine("m2", core.Volatile)
+	x := topo.AddLoc("x", m0)
+	y := topo.AddLoc("y", m1)
+
+	rng := rand.New(rand.NewSource(7))
+	locs := []core.LocID{x, y}
+
+	randTrace := func(rng *rand.Rand, n int) []core.Label {
+		trace := make([]core.Label, 0, n)
+		for i := 0; i < n; i++ {
+			m := core.MachineID(rng.Intn(2))
+			l := locs[rng.Intn(2)]
+			v := core.Val(rng.Intn(2))
+			switch rng.Intn(7) {
+			case 0:
+				trace = append(trace, core.LoadL(m, l, v))
+			case 1:
+				trace = append(trace, core.LStoreL(m, l, v))
+			case 2:
+				trace = append(trace, core.RStoreL(m, l, v))
+			case 3:
+				trace = append(trace, core.MStoreL(m, l, v))
+			case 4:
+				trace = append(trace, core.LFlushL(m, l))
+			case 5:
+				trace = append(trace, core.RFlushL(m, l))
+			case 6:
+				trace = append(trace, core.CrashL(m))
+			}
+		}
+		return trace
+	}
+
+	for iter := 0; iter < 500; iter++ {
+		trace := randTrace(rng, 2+rng.Intn(5))
+		base := Allows(topo, core.Base, trace)
+		for _, v := range []core.Variant{core.PSN, core.LWB} {
+			if Allows(topo, v, trace) && !base {
+				t.Fatalf("trace allowed under %v but not under Base: %v", v, trace)
+			}
+		}
+	}
+}

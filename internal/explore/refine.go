@@ -1,0 +1,138 @@
+package explore
+
+import (
+	"cxl0/internal/core"
+)
+
+// Refinement comparison between model variants, playing the role FDR4
+// plays in the paper (§3.5): the paper encodes the variants as CSP
+// processes and asks the refinement checker for traces of CXL0 that the
+// variants forbid, and for witnesses that the two variants are
+// incomparable. Here we enumerate a focused trace family and compare
+// admissibility under two variants directly.
+//
+// The family — one focus location; a store (any kind, value 1) optionally
+// followed by a flush; an optional pre-crash observation; then one or two
+// rounds of crash-then-load — is exactly the shape of the paper's
+// variant-separating tests 10–12, and small enough (a few thousand traces)
+// to enumerate exhaustively.
+
+// Separator is a trace admissible under Allowed but not under Forbidden —
+// a witness that Forbidden is strictly stricter than Allowed on this
+// behaviour.
+type Separator struct {
+	Allowed   core.Variant
+	Forbidden core.Variant
+	Trace     []core.Label
+}
+
+// Pretty renders the witness in the paper's notation.
+func (s *Separator) Pretty(topo *core.Topology) string {
+	out := ""
+	for i, l := range s.Trace {
+		if i > 0 {
+			out += "; "
+		}
+		out += l.Pretty(topo)
+	}
+	return out
+}
+
+// candidateTraces enumerates the focused trace family over the topology.
+func candidateTraces(topo *core.Topology) [][]core.Label {
+	var out [][]core.Label
+	machines := topo.NumMachines()
+
+	for x := 0; x < topo.NumLocs(); x++ {
+		loc := core.LocID(x)
+		for w := 0; w < machines; w++ {
+			writer := core.MachineID(w)
+			for _, storeOp := range []core.Op{core.OpLStore, core.OpRStore, core.OpMStore} {
+				prefixBase := []core.Label{{Op: storeOp, M: writer, Loc: loc, Val: 1}}
+				// Optional flush by the writer.
+				prefixes := [][]core.Label{prefixBase}
+				for _, flushOp := range []core.Op{core.OpLFlush, core.OpRFlush} {
+					prefixes = append(prefixes,
+						append(append([]core.Label{}, prefixBase...),
+							core.Label{Op: flushOp, M: writer, Loc: loc}))
+				}
+				for _, prefix := range prefixes {
+					// Optional pre-crash observation by any machine.
+					obsOptions := [][]core.Label{nil}
+					for r := 0; r < machines; r++ {
+						obsOptions = append(obsOptions,
+							[]core.Label{core.LoadL(core.MachineID(r), loc, 1)})
+					}
+					for _, obs := range obsOptions {
+						head := append(append([]core.Label{}, prefix...), obs...)
+						out = append(out, crashLoadRounds(topo, head, loc, 2)...)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// crashLoadRounds extends head with up to `rounds` rounds of
+// crash-then-load (every machine × load value × reader), returning every
+// intermediate extension that ends in a load.
+func crashLoadRounds(topo *core.Topology, head []core.Label, loc core.LocID, rounds int) [][]core.Label {
+	if rounds == 0 {
+		return nil
+	}
+	var out [][]core.Label
+	for c := 0; c < topo.NumMachines(); c++ {
+		afterCrash := append(append([]core.Label{}, head...), core.CrashL(core.MachineID(c)))
+		for r := 0; r < topo.NumMachines(); r++ {
+			for _, v := range []core.Val{0, 1} {
+				t := append(append([]core.Label{}, afterCrash...),
+					core.LoadL(core.MachineID(r), loc, v))
+				out = append(out, t)
+				out = append(out, crashLoadRounds(topo, t, loc, rounds-1)...)
+			}
+		}
+	}
+	return out
+}
+
+// FindSeparator enumerates the focused trace family and returns a
+// minimized trace admissible under variant a but not under variant b, or
+// nil when the family contains none.
+func FindSeparator(topo *core.Topology, a, b core.Variant) *Separator {
+	for _, trace := range candidateTraces(topo) {
+		if Allows(topo, a, trace) && !Allows(topo, b, trace) {
+			return &Separator{Allowed: a, Forbidden: b, Trace: Minimize(topo, a, b, trace)}
+		}
+	}
+	return nil
+}
+
+// Minimize shrinks a separating trace by repeatedly dropping events while
+// it still separates the two variants, yielding a human-readable witness.
+func Minimize(topo *core.Topology, a, b core.Variant, trace []core.Label) []core.Label {
+	separates := func(t []core.Label) bool {
+		return len(t) > 0 && Allows(topo, a, t) && !Allows(topo, b, t)
+	}
+	out := append([]core.Label(nil), trace...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(out); i++ {
+			cand := append(append([]core.Label(nil), out[:i]...), out[i+1:]...)
+			if separates(cand) {
+				out = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Incomparable reports whether two variants are trace-incomparable over
+// the given topology — each forbids some behaviour the other allows —
+// returning the two witnesses. This mechanically rediscovers the paper's
+// §3.5 result for PSN and LWB.
+func Incomparable(topo *core.Topology, a, b core.Variant) (abWitness, baWitness *Separator) {
+	return FindSeparator(topo, a, b), FindSeparator(topo, b, a)
+}

@@ -1,0 +1,85 @@
+package explore
+
+import (
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// refineTopo is the §3.5 comparison topology: machine1 NVM, machine2
+// volatile, one location on each.
+func refineTopo() *core.Topology {
+	topo := core.NewTopology()
+	m1 := topo.AddMachine("m1", core.NonVolatile)
+	m2 := topo.AddMachine("m2", core.Volatile)
+	topo.AddLoc("x", m1)
+	topo.AddLoc("y", m2)
+	return topo
+}
+
+// TestVariantsRefineBaseNoSeparatorExists: the paper states every variant
+// trace is also a base trace, so no trace can be allowed by a variant and
+// forbidden by base.
+func TestVariantsRefineBaseNoSeparatorExists(t *testing.T) {
+	topo := refineTopo()
+	for _, v := range []core.Variant{core.PSN, core.LWB} {
+		if sep := FindSeparator(topo, v, core.Base); sep != nil {
+			t.Errorf("found a %v trace forbidden by base: %v", v, sep.Trace)
+		}
+	}
+}
+
+// TestBaseStrictlyWeakerThanVariants: the search must find traces of base
+// CXL0 that each variant forbids (the paper's FDR4 finding).
+func TestBaseStrictlyWeakerThanVariants(t *testing.T) {
+	topo := refineTopo()
+	for _, v := range []core.Variant{core.PSN, core.LWB} {
+		sep := FindSeparator(topo, core.Base, v)
+		if sep == nil {
+			t.Fatalf("no base trace forbidden by %v found", v)
+		}
+		// Sanity: the minimized witness still separates.
+		if !Allows(topo, core.Base, sep.Trace) || Allows(topo, v, sep.Trace) {
+			t.Errorf("witness does not separate after minimization: %v", sep.Trace)
+		}
+		t.Logf("base-but-not-%v witness: %v", v, sep.Trace)
+	}
+}
+
+// TestPSNAndLWBIncomparable mechanically rediscovers the paper's §3.5
+// incomparability result: each variant allows a trace the other forbids.
+func TestPSNAndLWBIncomparable(t *testing.T) {
+	topo := refineTopo()
+	ab, ba := Incomparable(topo, core.PSN, core.LWB)
+	if ab == nil {
+		t.Fatal("no PSN-but-not-LWB witness found")
+	}
+	if ba == nil {
+		t.Fatal("no LWB-but-not-PSN witness found")
+	}
+	t.Logf("PSN-not-LWB: %s", ab.Pretty(topo))
+	t.Logf("LWB-not-PSN: %s", ba.Pretty(topo))
+	// Verify both witnesses.
+	if !Allows(topo, core.PSN, ab.Trace) || Allows(topo, core.LWB, ab.Trace) {
+		t.Errorf("PSN witness invalid")
+	}
+	if !Allows(topo, core.LWB, ba.Trace) || Allows(topo, core.PSN, ba.Trace) {
+		t.Errorf("LWB witness invalid")
+	}
+}
+
+// TestMinimizePreservesSeparation: minimization never loses the property
+// and never grows the trace.
+func TestMinimizePreservesSeparation(t *testing.T) {
+	topo := refineTopo()
+	sep := FindSeparator(topo, core.Base, core.LWB)
+	if sep == nil {
+		t.Fatal("no base/LWB separator found")
+	}
+	if len(sep.Trace) > 6 {
+		t.Errorf("minimized witness suspiciously long: %v", sep.Trace)
+	}
+	if !Allows(topo, core.Base, sep.Trace) || Allows(topo, core.LWB, sep.Trace) {
+		t.Errorf("minimized witness does not separate: %v", sep.Trace)
+	}
+}

@@ -1,0 +1,112 @@
+// Package explore provides exhaustive exploration of the CXL0 labeled
+// transition system: trace admissibility with arbitrary τ interleavings
+// (used to check the paper's litmus tests), τ-closed reachability sets (used
+// to verify Proposition 1), and an interleaving explorer for small
+// concurrent programs with bounded crash injection.
+package explore
+
+import (
+	"cxl0/internal/core"
+)
+
+// maxTraceStates caps memoized configurations during trace checking as a
+// safety net against degenerate inputs; litmus-sized traces stay well below
+// it.
+const maxTraceStates = 1 << 22
+
+// Allows reports whether the labeled trace is executable under variant v
+// from the initial state of topology t, with any number of silent τ
+// propagation steps interleaved anywhere (the paper's γ --α1...αn--> γ'
+// notation). Flush labels act as blocking preconditions: they become
+// enabled once τ steps have drained the relevant cache copies.
+func Allows(t *core.Topology, v core.Variant, trace []core.Label) bool {
+	return AllowsFrom(core.NewState(t), v, trace)
+}
+
+// AllowsFrom is Allows starting from an arbitrary state.
+func AllowsFrom(s0 *core.State, v core.Variant, trace []core.Label) bool {
+	type cfg struct {
+		key string
+		idx int
+	}
+	seen := map[cfg]bool{}
+	type node struct {
+		st  *core.State
+		idx int
+	}
+	stack := []node{{s0, 0}}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.idx == len(trace) {
+			return true
+		}
+		c := cfg{n.st.Key(), n.idx}
+		if seen[c] {
+			continue
+		}
+		if len(seen) >= maxTraceStates {
+			panic("explore: trace state space exceeded safety cap")
+		}
+		seen[c] = true
+		for _, next := range core.Apply(n.st, trace[n.idx], v) {
+			stack = append(stack, node{next, n.idx + 1})
+		}
+		for _, next := range core.TauSuccessors(n.st) {
+			stack = append(stack, node{next, n.idx})
+		}
+	}
+	return false
+}
+
+// TauClosure returns all states reachable from the given states by any
+// number of τ steps (including zero), keyed by State.Key.
+func TauClosure(states ...*core.State) map[string]*core.State {
+	out := map[string]*core.State{}
+	var stack []*core.State
+	for _, s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k := s.Key()
+		if _, ok := out[k]; ok {
+			continue
+		}
+		out[k] = s
+		stack = append(stack, core.TauSuccessors(s)...)
+	}
+	return out
+}
+
+// ReachVia returns the τ-closed set of states reachable from s by executing
+// the labels in order, with τ steps allowed before, between, and after them.
+// This realizes the γ --α1...αn--> γ' relation used by Proposition 1.
+func ReachVia(s *core.State, v core.Variant, labels ...core.Label) map[string]*core.State {
+	cur := TauClosure(s)
+	for _, l := range labels {
+		next := map[string]*core.State{}
+		for _, st := range cur {
+			for _, n := range core.Apply(st, l, v) {
+				next[n.Key()] = n
+			}
+		}
+		var flat []*core.State
+		for _, st := range next {
+			flat = append(flat, st)
+		}
+		cur = TauClosure(flat...)
+	}
+	return cur
+}
+
+// Subset reports whether every state key in a also appears in b.
+func Subset(a, b map[string]*core.State) bool {
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package flitbench
+
+import (
+	"testing"
+
+	"cxl0/internal/flit"
+)
+
+// TestEvictionAblation checks that the sound strategies tolerate cache-
+// replacement pressure: costs rise monotonically-ish with eviction rate
+// but stay bounded, and the run is valid at every rate including "evict
+// after every primitive".
+func TestEvictionAblation(t *testing.T) {
+	strategies := []flit.Strategy{flit.CXL0FliT, flit.MStoreAll, flit.NoPersist}
+	points, err := EvictionAblation(strategies, []int{0, 64, 8, 1}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[flit.Strategy]map[int]float64{}
+	for _, p := range points {
+		if costs[p.Strategy] == nil {
+			costs[p.Strategy] = map[int]float64{}
+		}
+		costs[p.Strategy][p.EvictEvery] = p.SimNSPerOp
+	}
+	for _, s := range strategies {
+		calm, stormy := costs[s][0], costs[s][1]
+		if calm <= 0 || stormy <= 0 {
+			t.Fatalf("%v: non-positive costs %v", s, costs[s])
+		}
+		if stormy < calm*0.9 {
+			t.Errorf("%v: heavy eviction (%0.f) cheaper than none (%.0f)?", s, stormy, calm)
+		}
+		if s.Correct() && stormy > calm*6 {
+			t.Errorf("%v: eviction blow-up %.1fx — sound strategies should be placement-stable", s, stormy/calm)
+		}
+	}
+	// The sound strategies bypass caches for remote mutations, so eviction
+	// pressure barely moves them; the cache-reliant baseline must degrade
+	// visibly more.
+	soundRatio := costs[flit.CXL0FliT][1] / costs[flit.CXL0FliT][0]
+	nakedRatio := costs[flit.NoPersist][1] / costs[flit.NoPersist][0]
+	if nakedRatio <= soundRatio {
+		t.Errorf("no-persist eviction sensitivity %.2fx not above sound %.2fx", nakedRatio, soundRatio)
+	}
+}
+
+// TestPlacementMixAblation checks the §6.1 crossover claim: the owner-local
+// optimisation's advantage over plain Algorithm 2 grows with the fraction
+// of local accesses, and vanishes when everything is remote.
+func TestPlacementMixAblation(t *testing.T) {
+	strategies := []flit.Strategy{flit.CXL0FliT, flit.CXL0FliTOpt}
+	points, err := PlacementMixAblation(strategies, []int{0, 50, 100}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := map[int]map[flit.Strategy]float64{}
+	for _, p := range points {
+		if at[p.LocalPercent] == nil {
+			at[p.LocalPercent] = map[flit.Strategy]float64{}
+		}
+		at[p.LocalPercent][p.Strategy] = p.SimNSPerOp
+	}
+	// All-remote: identical code paths.
+	r0 := at[0]
+	if diff := r0[flit.CXL0FliT] - r0[flit.CXL0FliTOpt]; diff < -1 || diff > 1 {
+		t.Errorf("0%% local: plain %.0f vs opt %.0f should coincide", r0[flit.CXL0FliT], r0[flit.CXL0FliTOpt])
+	}
+	// All-local: opt strictly cheaper.
+	r100 := at[100]
+	if r100[flit.CXL0FliTOpt] >= r100[flit.CXL0FliT] {
+		t.Errorf("100%% local: opt %.0f not cheaper than plain %.0f", r100[flit.CXL0FliTOpt], r100[flit.CXL0FliT])
+	}
+	// Advantage grows with locality.
+	adv50 := at[50][flit.CXL0FliT] - at[50][flit.CXL0FliTOpt]
+	adv100 := r100[flit.CXL0FliT] - r100[flit.CXL0FliTOpt]
+	if !(adv100 > adv50 && adv50 >= 0) {
+		t.Errorf("advantage not growing with locality: 50%%=%.0f, 100%%=%.0f", adv50, adv100)
+	}
+}
+
+// TestCounterTableAblation checks the false-sharing trade-off: with a
+// single shared counter every read during a concurrent store pays a
+// spurious helping flush; with a large table almost none do.
+func TestCounterTableAblation(t *testing.T) {
+	points, err := CounterTableAblation([]int{1, 8, 1024}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	tiny, mid, big := points[0], points[1], points[2]
+	if tiny.HelpedLoads <= big.HelpedLoads {
+		t.Errorf("aliasing did not shrink with table size: size1=%d helped, size1024=%d",
+			tiny.HelpedLoads, big.HelpedLoads)
+	}
+	if tiny.HelpedLoads < 100 {
+		t.Errorf("size-1 table: expected nearly every read to help, got %d/128", tiny.HelpedLoads)
+	}
+	if big.HelpedLoads > 8 {
+		t.Errorf("size-1024 table: expected almost no aliasing, got %d/128 helped", big.HelpedLoads)
+	}
+	if tiny.SimNSPerOp <= big.SimNSPerOp {
+		t.Errorf("false sharing should cost time: size1 %.0f ns/op vs size1024 %.0f",
+			tiny.SimNSPerOp, big.SimNSPerOp)
+	}
+	_ = mid
+}

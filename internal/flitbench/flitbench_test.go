@@ -1,0 +1,112 @@
+package flitbench
+
+import (
+	"testing"
+
+	"cxl0/internal/flit"
+)
+
+func cell(t *testing.T, w Workload, s flit.Strategy, p Placement) float64 {
+	t.Helper()
+	st, err := Run(Config{Workload: w, Strategy: s, Placement: p, Ops: 600, Seed: 1})
+	if err != nil {
+		t.Fatalf("%v/%v/%v: %v", w, s, p, err)
+	}
+	if st.SimNSPerOp <= 0 {
+		t.Fatalf("%v/%v/%v: non-positive cost", w, s, p)
+	}
+	return st.SimNSPerOp
+}
+
+// TestDurabilityCostsSomething: the untransformed object (no-persist) is
+// the cost floor; every sound strategy pays a real premium for durability.
+func TestDurabilityCostsSomething(t *testing.T) {
+	for _, w := range Workloads {
+		floor := cell(t, w, flit.NoPersist, Remote)
+		for _, s := range []flit.Strategy{flit.CXL0FliT, flit.CXL0FliTOpt, flit.MStoreAll, flit.FlushOnRead} {
+			if got := cell(t, w, s, Remote); got <= floor {
+				t.Errorf("%v/%v: %.0f ns/op not above the no-persist floor %.0f", w, s, got, floor)
+			}
+		}
+	}
+}
+
+// TestFliTBeatsFlushOnReadOnReadMostly is the FliT design point: the
+// counter lets readers skip flushes, so on read-mostly workloads FliT must
+// clearly beat the Izraelevitz-style flush-every-access construction.
+func TestFliTBeatsFlushOnReadOnReadMostly(t *testing.T) {
+	flitCost := cell(t, MapReadMostly, flit.CXL0FliT, Remote)
+	forCost := cell(t, MapReadMostly, flit.FlushOnRead, Remote)
+	if flitCost >= forCost {
+		t.Errorf("read-mostly: cxl0-flit %.0f ns/op should beat flush-on-read %.0f", flitCost, forCost)
+	}
+	if forCost/flitCost < 1.1 {
+		t.Errorf("read-mostly advantage too small: %.2fx", forCost/flitCost)
+	}
+}
+
+// TestOwnerLocalOptimisationPays: with data on the worker's own machine,
+// the §6.1 LFlush substitution must not lose to plain Algorithm 2, and
+// must win visibly on store-heavy workloads.
+func TestOwnerLocalOptimisationPays(t *testing.T) {
+	for _, w := range Workloads {
+		plain := cell(t, w, flit.CXL0FliT, Local)
+		opt := cell(t, w, flit.CXL0FliTOpt, Local)
+		if opt > plain*1.02 {
+			t.Errorf("%v local: opt %.0f ns/op worse than plain %.0f", w, opt, plain)
+		}
+	}
+	plain := cell(t, CounterHot, flit.CXL0FliT, Local)
+	opt := cell(t, CounterHot, flit.CXL0FliTOpt, Local)
+	if opt >= plain {
+		t.Errorf("counter-hot local: opt %.0f should strictly beat plain %.0f", opt, plain)
+	}
+}
+
+// TestSoundStrategiesComparable: with only synchronous invalidating
+// flushes available (the CXL limitation §3.2 highlights), the sound
+// strategies all end up within a small factor of one another — persisting
+// costs roughly a memory round trip no matter how it is spelled.
+func TestSoundStrategiesComparable(t *testing.T) {
+	for _, w := range Workloads {
+		costs := map[flit.Strategy]float64{}
+		for _, s := range []flit.Strategy{flit.CXL0FliT, flit.CXL0FliTOpt, flit.MStoreAll} {
+			costs[s] = cell(t, w, s, Remote)
+		}
+		min, max := costs[flit.CXL0FliT], costs[flit.CXL0FliT]
+		for _, c := range costs {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max/min > 4 {
+			t.Errorf("%v: sound strategies spread %.1fx (min %.0f, max %.0f)", w, max/min, min, max)
+		}
+	}
+}
+
+// TestLocalCheaperThanRemote: placement matters — the same workload on
+// owner-local data must cost less than on remote data for the sound
+// strategies.
+func TestLocalCheaperThanRemote(t *testing.T) {
+	for _, s := range []flit.Strategy{flit.CXL0FliT, flit.CXL0FliTOpt, flit.MStoreAll} {
+		remote := cell(t, QueuePingPong, s, Remote)
+		local := cell(t, QueuePingPong, s, Local)
+		if local >= remote {
+			t.Errorf("%v: local %.0f ns/op not cheaper than remote %.0f", s, local, remote)
+		}
+	}
+}
+
+// TestDeterministicGivenSeed: identical configs yield identical simulated
+// costs (the whole simulation is deterministic for a fixed seed).
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := cell(t, MapWriteHeavy, flit.CXL0FliT, Remote)
+	b := cell(t, MapWriteHeavy, flit.CXL0FliT, Remote)
+	if a != b {
+		t.Errorf("non-deterministic: %.2f vs %.2f", a, b)
+	}
+}

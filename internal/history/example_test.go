@@ -1,0 +1,30 @@
+package history_test
+
+import (
+	"fmt"
+	"math"
+
+	"cxl0/internal/history"
+)
+
+// ExampleLinearizable checks the core durable-linearizability scenario: an
+// acknowledged enqueue must be observed after a crash, while one that was
+// still pending may vanish.
+func ExampleLinearizable() {
+	completed := history.History{Ops: []history.Operation{
+		{Client: 0, Kind: "enq", Arg: 5, Invoke: 1, Return: 2},
+		// ...crash and recovery here...
+		{Client: 1, Kind: "deq", RetOK: false, Invoke: 10, Return: 11}, // empty!
+	}}
+	pending := history.History{Ops: []history.Operation{
+		{Client: 0, Kind: "enq", Arg: 5, Invoke: 1, Return: math.MaxUint64, Pending: true},
+		{Client: 1, Kind: "deq", RetOK: false, Invoke: 10, Return: 11},
+	}}
+
+	fmt.Println("completed enqueue may be lost:", history.Linearizable(completed, history.QueueSpec{}))
+	fmt.Println("pending enqueue may be lost:  ", history.Linearizable(pending, history.QueueSpec{}))
+
+	// Output:
+	// completed enqueue may be lost: false
+	// pending enqueue may be lost:   true
+}

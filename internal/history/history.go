@@ -1,0 +1,126 @@
+// Package history records concurrent operation histories with crash events
+// and checks them for linearizability and durable linearizability, the
+// correctness criterion of the paper's §6 (Izraelevitz et al.'s notion,
+// applied unchanged to CXL0's partial-crash model).
+//
+// A history is durably linearizable when, after removing crash events, it
+// is linearizable: every operation that completed (returned) must take
+// effect, while operations pending at a crash may take effect or be
+// dropped. The checker is a Wing–Gong-style exhaustive search with
+// memoization on (linearized-set, abstract-state) pairs.
+package history
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cxl0/internal/core"
+)
+
+// Operation is one recorded high-level operation.
+type Operation struct {
+	// Client identifies the sequential actor that issued the operation.
+	Client int
+	// Kind names the operation ("enq", "deq", "push", "pop", "read",
+	// "write", "cas", "add", "ins", "rem", "has", "put", "get", "del").
+	Kind string
+	// Arg and Arg2 are the inputs (value; key/value for map put; old/new
+	// for cas).
+	Arg, Arg2 core.Val
+	// Ret and RetOK are the outputs; meaningless while Pending.
+	Ret   core.Val
+	RetOK bool
+	// Invoke and Return are monotonic event stamps. Return is
+	// math.MaxUint64 while the operation is pending.
+	Invoke, Return uint64
+	// Pending marks an operation with no response (its client crashed
+	// mid-operation, or the run was cut short).
+	Pending bool
+}
+
+func (o Operation) String() string {
+	if o.Pending {
+		return fmt.Sprintf("c%d:%s(%d,%d)?", o.Client, o.Kind, o.Arg, o.Arg2)
+	}
+	return fmt.Sprintf("c%d:%s(%d,%d)=>(%d,%v)", o.Client, o.Kind, o.Arg, o.Arg2, o.Ret, o.RetOK)
+}
+
+// History is a set of recorded operations.
+type History struct {
+	Ops []Operation
+}
+
+// Recorder builds a history from concurrent clients. It is safe for
+// concurrent use. Stamps must come from a single monotonic source (e.g.
+// memsim.Cluster.Stamp).
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Operation
+}
+
+// Begin records an invocation and returns a token for End.
+func (r *Recorder) Begin(client int, kind string, arg, arg2 core.Val, stamp uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Operation{
+		Client: client, Kind: kind, Arg: arg, Arg2: arg2,
+		Invoke: stamp, Return: math.MaxUint64, Pending: true,
+	})
+	return len(r.ops) - 1
+}
+
+// End records the response for a previously begun operation.
+func (r *Recorder) End(token int, ret core.Val, retOK bool, stamp uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &r.ops[token]
+	op.Ret, op.RetOK, op.Return, op.Pending = ret, retOK, stamp, false
+}
+
+// Abort removes a begun operation that never took effect on shared memory
+// (e.g. it failed before its first shared access). Operations cut short by
+// a crash should NOT be aborted — leave them pending.
+func (r *Recorder) Abort(token int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops[token].Kind = ""
+}
+
+// History returns the recorded history, dropping aborted entries.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ops []Operation
+	for _, op := range r.ops {
+		if op.Kind != "" {
+			ops = append(ops, op)
+		}
+	}
+	return History{Ops: ops}
+}
+
+// WellFormed checks that each client's operations are sequential: no client
+// has two overlapping operations, and at most one pending operation (its
+// last).
+func (h History) WellFormed() error {
+	lastReturn := map[int]uint64{}
+	pending := map[int]bool{}
+	for _, op := range h.Ops {
+		if pending[op.Client] {
+			return fmt.Errorf("history: client %d has operations after a pending one", op.Client)
+		}
+		if op.Invoke <= lastReturn[op.Client] {
+			return fmt.Errorf("history: client %d operations overlap (%v)", op.Client, op)
+		}
+		if op.Pending {
+			pending[op.Client] = true
+			continue
+		}
+		if op.Return <= op.Invoke {
+			return fmt.Errorf("history: operation returns before invocation (%v)", op)
+		}
+		lastReturn[op.Client] = op.Return
+	}
+	return nil
+}

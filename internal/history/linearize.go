@@ -1,0 +1,97 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// maxCheckableOps bounds history size for the bitmask-based checker.
+const maxCheckableOps = 62
+
+// Linearizable reports whether the history has a linearization consistent
+// with spec. Completed operations must all take effect with their recorded
+// results, respecting real-time order; pending operations may take effect
+// (with any legal result) or be dropped.
+//
+// Calling this on a history that spans crashes — with the operations cut
+// short by each crash left pending — is exactly the durable-linearizability
+// check of §6: durable linearizability requires the history to be
+// linearizable after crash events are removed.
+func Linearizable(h History, spec Spec) bool {
+	ok, _ := Check(h, spec)
+	return ok
+}
+
+// Check is Linearizable with an explanation: on success the witness is a
+// valid linearization order (indices into a stably-sorted op list); on
+// failure it is nil.
+func Check(h History, spec Spec) (bool, []Operation) {
+	ops := append([]Operation(nil), h.Ops...)
+	if len(ops) > maxCheckableOps {
+		panic(fmt.Sprintf("history: %d operations exceed checker capacity %d", len(ops), maxCheckableOps))
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	var completeMask uint64
+	for i, op := range ops {
+		if !op.Pending {
+			completeMask |= 1 << uint(i)
+		}
+	}
+
+	type key struct {
+		mask  uint64
+		state string
+	}
+	failed := map[key]bool{}
+	var witness []Operation
+
+	var dfs func(mask uint64, state string) bool
+	dfs = func(mask uint64, state string) bool {
+		if mask&completeMask == completeMask {
+			return true
+		}
+		k := key{mask, state}
+		if failed[k] {
+			return false
+		}
+		for i, op := range ops {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			// Minimality: op may linearize next only if no unlinearized
+			// completed operation finished before op was invoked.
+			blocked := false
+			for j, p := range ops {
+				if mask&(1<<uint(j)) != 0 || p.Pending || j == i {
+					continue
+				}
+				if p.Return < op.Invoke {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			for _, next := range spec.Step(state, op) {
+				if dfs(mask|bit, next) {
+					witness = append(witness, op)
+					return true
+				}
+			}
+		}
+		failed[k] = true
+		return false
+	}
+
+	if !dfs(0, spec.Init()) {
+		return false, nil
+	}
+	// The witness was collected in reverse (unwinding the recursion).
+	for i, j := 0, len(witness)-1; i < j; i, j = i+1, j-1 {
+		witness[i], witness[j] = witness[j], witness[i]
+	}
+	return true, witness
+}

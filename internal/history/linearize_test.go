@@ -1,0 +1,283 @@
+package history
+
+import (
+	"math"
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// op builds a completed operation.
+func op(client int, kind string, arg, ret core.Val, retOK bool, inv, ret2 uint64) Operation {
+	return Operation{Client: client, Kind: kind, Arg: arg, Ret: ret, RetOK: retOK, Invoke: inv, Return: ret2}
+}
+
+// pend builds a pending operation.
+func pend(client int, kind string, arg core.Val, inv uint64) Operation {
+	return Operation{Client: client, Kind: kind, Arg: arg, Invoke: inv, Return: math.MaxUint64, Pending: true}
+}
+
+func TestQueueLinearizableBasic(t *testing.T) {
+	// c0: enq(1) [1,2]; c1: deq->1 [3,4]
+	h := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 2),
+		op(1, "deq", 0, 1, true, 3, 4),
+	}}
+	if !Linearizable(h, QueueSpec{}) {
+		t.Errorf("sequential enq/deq rejected")
+	}
+}
+
+func TestQueueDequeueBeforeEnqueueRejected(t *testing.T) {
+	// deq->1 strictly precedes enq(1): impossible.
+	h := History{Ops: []Operation{
+		op(0, "deq", 0, 1, true, 1, 2),
+		op(1, "enq", 1, 0, false, 3, 4),
+	}}
+	if Linearizable(h, QueueSpec{}) {
+		t.Errorf("deq before enq accepted")
+	}
+}
+
+func TestQueueConcurrentOverlapAccepted(t *testing.T) {
+	// enq(1) [1,10] overlaps deq->1 [2,9]: fine, enq linearizes first.
+	h := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 10),
+		op(1, "deq", 0, 1, true, 2, 9),
+	}}
+	if !Linearizable(h, QueueSpec{}) {
+		t.Errorf("overlapping enq/deq rejected")
+	}
+}
+
+func TestQueueFIFOOrderEnforced(t *testing.T) {
+	// enq(1) before enq(2) (both complete, sequential), then deq->2 first:
+	// violates FIFO.
+	h := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 2),
+		op(0, "enq", 2, 0, false, 3, 4),
+		op(1, "deq", 0, 2, true, 5, 6),
+		op(1, "deq", 0, 1, true, 7, 8),
+	}}
+	if Linearizable(h, QueueSpec{}) {
+		t.Errorf("FIFO violation accepted")
+	}
+}
+
+func TestQueueEmptyDequeue(t *testing.T) {
+	h := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 2),
+		op(1, "deq", 0, 1, true, 3, 4),
+		op(1, "deq", 0, 0, false, 5, 6), // empty
+	}}
+	if !Linearizable(h, QueueSpec{}) {
+		t.Errorf("legal empty dequeue rejected")
+	}
+	bad := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 2),
+		op(1, "deq", 0, 0, false, 3, 4), // claims empty while 1 is enqueued
+		op(1, "deq", 0, 1, true, 5, 6),
+	}}
+	if Linearizable(bad, QueueSpec{}) {
+		t.Errorf("empty dequeue on non-empty queue accepted")
+	}
+}
+
+func TestPendingEnqueueMayBeDroppedOrKept(t *testing.T) {
+	// A pending enq(5) followed (post-crash) by deq->empty: fine (dropped).
+	h := History{Ops: []Operation{
+		pend(0, "enq", 5, 1),
+		op(1, "deq", 0, 0, false, 10, 11),
+	}}
+	if !Linearizable(h, QueueSpec{}) {
+		t.Errorf("droppable pending enq rejected")
+	}
+	// A pending enq(5) whose value IS observed: also fine (kept).
+	h2 := History{Ops: []Operation{
+		pend(0, "enq", 5, 1),
+		op(1, "deq", 0, 5, true, 10, 11),
+	}}
+	if !Linearizable(h2, QueueSpec{}) {
+		t.Errorf("kept pending enq rejected")
+	}
+}
+
+func TestCompletedEnqueueMustSurvive(t *testing.T) {
+	// The durable-linearizability core case: enq(5) completed before the
+	// crash, but a full post-crash drain never sees it.
+	h := History{Ops: []Operation{
+		op(0, "enq", 5, 0, false, 1, 2),
+		op(1, "deq", 0, 0, false, 10, 11), // drain: empty immediately
+	}}
+	if Linearizable(h, QueueSpec{}) {
+		t.Errorf("lost completed enqueue accepted — durable linearizability broken")
+	}
+}
+
+func TestRegisterSpec(t *testing.T) {
+	good := History{Ops: []Operation{
+		op(0, "write", 3, 0, false, 1, 2),
+		op(1, "read", 0, 3, false, 3, 4),
+		{Client: 1, Kind: "cas", Arg: 3, Arg2: 7, RetOK: true, Invoke: 5, Return: 6},
+		op(1, "read", 0, 7, false, 7, 8),
+	}}
+	if !Linearizable(good, RegisterSpec{}) {
+		t.Errorf("legal register history rejected")
+	}
+	bad := History{Ops: []Operation{
+		op(0, "write", 3, 0, false, 1, 2),
+		op(1, "read", 0, 0, false, 3, 4), // lost write
+	}}
+	if Linearizable(bad, RegisterSpec{}) {
+		t.Errorf("lost register write accepted")
+	}
+}
+
+func TestCounterSpec(t *testing.T) {
+	good := History{Ops: []Operation{
+		op(0, "add", 1, 0, false, 1, 10), // concurrent
+		op(1, "add", 1, 1, false, 2, 9),
+		op(0, "get", 0, 2, false, 11, 12),
+	}}
+	if !Linearizable(good, CounterSpec{}) {
+		t.Errorf("legal counter history rejected")
+	}
+	bad := History{Ops: []Operation{
+		op(0, "add", 1, 0, false, 1, 2),
+		op(1, "add", 1, 0, false, 3, 4), // both claim prev=0 sequentially
+	}}
+	if Linearizable(bad, CounterSpec{}) {
+		t.Errorf("duplicate fetch-add result accepted")
+	}
+}
+
+func TestStackSpec(t *testing.T) {
+	good := History{Ops: []Operation{
+		op(0, "push", 1, 0, false, 1, 2),
+		op(0, "push", 2, 0, false, 3, 4),
+		op(1, "pop", 0, 2, true, 5, 6),
+		op(1, "pop", 0, 1, true, 7, 8),
+	}}
+	if !Linearizable(good, StackSpec{}) {
+		t.Errorf("legal LIFO history rejected")
+	}
+	bad := History{Ops: []Operation{
+		op(0, "push", 1, 0, false, 1, 2),
+		op(0, "push", 2, 0, false, 3, 4),
+		op(1, "pop", 0, 1, true, 5, 6), // FIFO order from a stack
+		op(1, "pop", 0, 2, true, 7, 8),
+	}}
+	if Linearizable(bad, StackSpec{}) {
+		t.Errorf("LIFO violation accepted")
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	good := History{Ops: []Operation{
+		op(0, "ins", 5, 0, true, 1, 2),
+		op(1, "ins", 5, 0, false, 3, 4), // duplicate
+		op(1, "has", 5, 0, true, 5, 6),
+		op(0, "rem", 5, 0, true, 7, 8),
+		op(1, "has", 5, 0, false, 9, 10),
+	}}
+	if !Linearizable(good, SetSpec{}) {
+		t.Errorf("legal set history rejected")
+	}
+	bad := History{Ops: []Operation{
+		op(0, "ins", 5, 0, true, 1, 2),
+		op(1, "has", 5, 0, false, 3, 4), // completed insert invisible
+		op(1, "has", 5, 0, true, 5, 6),
+	}}
+	if Linearizable(bad, SetSpec{}) {
+		t.Errorf("temporarily lost insert accepted")
+	}
+}
+
+func TestMapSpec(t *testing.T) {
+	good := History{Ops: []Operation{
+		{Client: 0, Kind: "put", Arg: 1, Arg2: 10, Invoke: 1, Return: 2},
+		{Client: 1, Kind: "get", Arg: 1, Ret: 10, RetOK: true, Invoke: 3, Return: 4},
+		{Client: 0, Kind: "put", Arg: 1, Arg2: 20, Invoke: 5, Return: 6},
+		{Client: 1, Kind: "del", Arg: 1, RetOK: true, Invoke: 7, Return: 8},
+		{Client: 1, Kind: "get", Arg: 1, RetOK: false, Invoke: 9, Return: 10},
+	}}
+	if !Linearizable(good, MapSpec{}) {
+		t.Errorf("legal map history rejected")
+	}
+	bad := History{Ops: []Operation{
+		{Client: 0, Kind: "put", Arg: 1, Arg2: 10, Invoke: 1, Return: 2},
+		{Client: 1, Kind: "get", Arg: 1, Ret: 99, RetOK: true, Invoke: 3, Return: 4},
+	}}
+	if Linearizable(bad, MapSpec{}) {
+		t.Errorf("phantom map value accepted")
+	}
+}
+
+func TestCheckWitnessValid(t *testing.T) {
+	h := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 10),
+		op(1, "deq", 0, 1, true, 2, 9),
+		op(0, "enq", 2, 0, false, 11, 12),
+	}}
+	ok, witness := Check(h, QueueSpec{})
+	if !ok {
+		t.Fatalf("history rejected")
+	}
+	if len(witness) != 3 {
+		t.Fatalf("witness has %d ops, want 3", len(witness))
+	}
+	// Replay the witness through the spec sequentially.
+	state := QueueSpec{}.Init()
+	for _, w := range witness {
+		next := QueueSpec{}.Step(state, w)
+		if len(next) == 0 {
+			t.Fatalf("witness not replayable at %v (state %q)", w, state)
+		}
+		state = next[0]
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	good := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 2),
+		op(0, "enq", 2, 0, false, 3, 4),
+		pend(0, "enq", 3, 5),
+	}}
+	if err := good.WellFormed(); err != nil {
+		t.Errorf("well-formed history rejected: %v", err)
+	}
+	overlap := History{Ops: []Operation{
+		op(0, "enq", 1, 0, false, 1, 5),
+		op(0, "enq", 2, 0, false, 3, 7),
+	}}
+	if err := overlap.WellFormed(); err == nil {
+		t.Errorf("overlapping same-client ops accepted")
+	}
+	afterPending := History{Ops: []Operation{
+		pend(0, "enq", 1, 1),
+		op(0, "enq", 2, 0, false, 3, 4),
+	}}
+	if err := afterPending.WellFormed(); err == nil {
+		t.Errorf("op after pending op accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	tok := r.Begin(0, "enq", 5, 0, 1)
+	r.End(tok, 0, false, 2)
+	tok2 := r.Begin(1, "deq", 0, 0, 3)
+	_ = tok2 // never ends: pending
+	tok3 := r.Begin(2, "enq", 9, 0, 4)
+	r.Abort(tok3)
+	h := r.History()
+	if len(h.Ops) != 2 {
+		t.Fatalf("history has %d ops, want 2", len(h.Ops))
+	}
+	if h.Ops[0].Pending || !h.Ops[1].Pending {
+		t.Errorf("pending flags wrong: %v", h.Ops)
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Errorf("recorder produced ill-formed history: %v", err)
+	}
+}

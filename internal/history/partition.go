@@ -1,0 +1,42 @@
+package history
+
+import "fmt"
+
+// Partitioned checking exploits the locality of (durable) linearizability
+// the paper leans on in §6: a history over independent sub-objects is
+// linearizable iff each sub-object's projection is. For keyed structures
+// (maps, sets) every operation touches exactly one key, so the history
+// splits by key and each piece is checked separately — turning the
+// checker's exponential blow-up in history size into a sum of small
+// problems.
+
+// PartitionFunc maps an operation to the sub-object it touches.
+type PartitionFunc func(Operation) string
+
+// ByKey partitions keyed operations (map and set histories) by Arg.
+func ByKey(op Operation) string { return fmt.Sprintf("k%d", op.Arg) }
+
+// LinearizablePartitioned reports whether every per-partition projection of
+// h is linearizable against spec. It is sound and complete when operations
+// in different partitions are independent (commute on the abstract state),
+// as map and set operations on distinct keys are.
+func LinearizablePartitioned(h History, partition PartitionFunc, spec Spec) bool {
+	ok, _ := CheckPartitioned(h, partition, spec)
+	return ok
+}
+
+// CheckPartitioned is LinearizablePartitioned with the name of the first
+// failing partition.
+func CheckPartitioned(h History, partition PartitionFunc, spec Spec) (bool, string) {
+	parts := map[string][]Operation{}
+	for _, op := range h.Ops {
+		key := partition(op)
+		parts[key] = append(parts[key], op)
+	}
+	for key, ops := range parts {
+		if !Linearizable(History{Ops: ops}, spec) {
+			return false, key
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,126 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// TestPartitionedAgreesWithFull compares the partitioned checker with the
+// full checker on randomized small map histories (both legal and illegal).
+func TestPartitionedAgreesWithFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 300; iter++ {
+		h := randomMapHistory(rng, 10, 3)
+		full := Linearizable(h, MapSpec{})
+		part := LinearizablePartitioned(h, ByKey, MapSpec{})
+		if full != part {
+			t.Fatalf("iter %d: full=%v partitioned=%v for %v", iter, full, part, h.Ops)
+		}
+	}
+}
+
+// TestPartitionedScales checks a history far beyond the flat checker's
+// 62-op capacity.
+func TestPartitionedScales(t *testing.T) {
+	var h History
+	stamp := uint64(1)
+	// 50 keys × (put, get, del, get) = 200 sequential ops, all legal.
+	for k := core.Val(1); k <= 50; k++ {
+		add := func(kind string, arg2, ret core.Val, retOK bool) {
+			h.Ops = append(h.Ops, Operation{
+				Client: 0, Kind: kind, Arg: k, Arg2: arg2, Ret: ret, RetOK: retOK,
+				Invoke: stamp, Return: stamp + 1,
+			})
+			stamp += 2
+		}
+		add("put", k*10, 0, false)
+		add("get", 0, k*10, true)
+		add("del", 0, 0, true)
+		add("get", 0, 0, false)
+	}
+	if !LinearizablePartitioned(h, ByKey, MapSpec{}) {
+		t.Fatal("legal 200-op history rejected")
+	}
+	// Corrupt one key's projection.
+	h.Ops[1].Ret = 999
+	ok, key := CheckPartitioned(h, ByKey, MapSpec{})
+	if ok {
+		t.Fatal("corrupted history accepted")
+	}
+	if key != "k1" {
+		t.Errorf("failing partition = %q, want k1", key)
+	}
+}
+
+// randomMapHistory generates a history of concurrent map operations whose
+// results come from a sequential oracle run in a random linearization
+// order, occasionally corrupted to produce illegal histories.
+func randomMapHistory(rng *rand.Rand, n, keys int) History {
+	type pendingOp struct {
+		op  Operation
+		idx int
+	}
+	var h History
+	state := map[core.Val]core.Val{}
+	stamp := uint64(1)
+	var pending []pendingOp
+
+	flush := func() {
+		// Linearize pending ops in random order; assign results.
+		rng.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+		for _, p := range pending {
+			op := &h.Ops[p.idx]
+			switch op.Kind {
+			case "put":
+				state[op.Arg] = op.Arg2
+			case "get":
+				v, ok := state[op.Arg]
+				op.Ret, op.RetOK = v, ok
+			case "del":
+				_, ok := state[op.Arg]
+				op.RetOK = ok
+				delete(state, op.Arg)
+			}
+			op.Return = stamp
+			stamp++
+		}
+		pending = nil
+	}
+
+	for i := 0; i < n; i++ {
+		k := core.Val(1 + rng.Intn(keys))
+		op := Operation{Client: i, Invoke: stamp}
+		stamp++
+		switch rng.Intn(3) {
+		case 0:
+			op.Kind, op.Arg, op.Arg2 = "put", k, core.Val(1+rng.Intn(5))
+		case 1:
+			op.Kind, op.Arg = "get", k
+		default:
+			op.Kind, op.Arg = "del", k
+		}
+		h.Ops = append(h.Ops, op)
+		pending = append(pending, pendingOp{op, len(h.Ops) - 1})
+		if rng.Intn(2) == 0 {
+			flush()
+		}
+	}
+	flush()
+
+	// A third of histories get corrupted.
+	if rng.Intn(3) == 0 && len(h.Ops) > 0 {
+		i := rng.Intn(len(h.Ops))
+		switch h.Ops[i].Kind {
+		case "get":
+			h.Ops[i].Ret += 100
+			h.Ops[i].RetOK = true
+		case "del", "put":
+			h.Ops[i].Kind = "get"
+			h.Ops[i].Ret = 12345
+			h.Ops[i].RetOK = true
+		}
+	}
+	return h
+}

@@ -1,0 +1,317 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cxl0/internal/core"
+)
+
+// Spec is a sequential specification over string-encoded abstract states.
+type Spec interface {
+	// Name identifies the spec in messages.
+	Name() string
+	// Init returns the encoded initial state.
+	Init() string
+	// Step returns the successor states of applying op to state. For a
+	// completed op the recorded outputs must match (no successors when
+	// they cannot); for a pending op the outputs are unconstrained, so all
+	// possible effects are returned.
+	Step(state string, op Operation) []string
+}
+
+// --- value-list encoding helpers ---
+
+func encodeVals(vs []core.Val) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatInt(int64(v), 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeVals(s string) []core.Val {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]core.Val, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			panic("history: corrupt state " + s)
+		}
+		out[i] = core.Val(n)
+	}
+	return out
+}
+
+// QueueSpec is a FIFO queue with operations "enq" (Arg) and "deq"
+// (Ret, RetOK=false for empty).
+type QueueSpec struct{}
+
+func (QueueSpec) Name() string { return "queue" }
+func (QueueSpec) Init() string { return "" }
+
+func (QueueSpec) Step(state string, op Operation) []string {
+	q := decodeVals(state)
+	switch op.Kind {
+	case "enq":
+		return []string{encodeVals(append(append([]core.Val{}, q...), op.Arg))}
+	case "deq":
+		if op.Pending {
+			out := []string{state} // observed empty, or took no effect worth distinguishing
+			if len(q) > 0 {
+				out = append(out, encodeVals(q[1:]))
+			}
+			return out
+		}
+		if !op.RetOK {
+			if len(q) == 0 {
+				return []string{state}
+			}
+			return nil
+		}
+		if len(q) > 0 && q[0] == op.Ret {
+			return []string{encodeVals(q[1:])}
+		}
+		return nil
+	}
+	return nil
+}
+
+// StackSpec is a LIFO stack with operations "push" (Arg) and "pop"
+// (Ret, RetOK=false for empty).
+type StackSpec struct{}
+
+func (StackSpec) Name() string { return "stack" }
+func (StackSpec) Init() string { return "" }
+
+func (StackSpec) Step(state string, op Operation) []string {
+	s := decodeVals(state)
+	switch op.Kind {
+	case "push":
+		return []string{encodeVals(append(append([]core.Val{}, s...), op.Arg))}
+	case "pop":
+		if op.Pending {
+			out := []string{state}
+			if len(s) > 0 {
+				out = append(out, encodeVals(s[:len(s)-1]))
+			}
+			return out
+		}
+		if !op.RetOK {
+			if len(s) == 0 {
+				return []string{state}
+			}
+			return nil
+		}
+		if len(s) > 0 && s[len(s)-1] == op.Ret {
+			return []string{encodeVals(s[:len(s)-1])}
+		}
+		return nil
+	}
+	return nil
+}
+
+// RegisterSpec is an atomic register with "read" (Ret), "write" (Arg) and
+// "cas" (Arg=old, Arg2=new, RetOK=success).
+type RegisterSpec struct{}
+
+func (RegisterSpec) Name() string { return "register" }
+func (RegisterSpec) Init() string { return "0" }
+
+func (RegisterSpec) Step(state string, op Operation) []string {
+	cur := decodeVals(state)[0]
+	switch op.Kind {
+	case "read":
+		if op.Pending {
+			return []string{state}
+		}
+		if op.Ret == cur {
+			return []string{state}
+		}
+		return nil
+	case "write":
+		return []string{encodeVals([]core.Val{op.Arg})}
+	case "cas":
+		if op.Pending {
+			if cur == op.Arg {
+				return []string{encodeVals([]core.Val{op.Arg2}), state}
+			}
+			return []string{state}
+		}
+		if op.RetOK {
+			if cur == op.Arg {
+				return []string{encodeVals([]core.Val{op.Arg2})}
+			}
+			return nil
+		}
+		if cur != op.Arg {
+			return []string{state}
+		}
+		return nil
+	}
+	return nil
+}
+
+// CounterSpec is a fetch-and-add counter with "add" (Arg=delta, Ret=prev)
+// and "get" (Ret).
+type CounterSpec struct{}
+
+func (CounterSpec) Name() string { return "counter" }
+func (CounterSpec) Init() string { return "0" }
+
+func (CounterSpec) Step(state string, op Operation) []string {
+	cur := decodeVals(state)[0]
+	switch op.Kind {
+	case "add":
+		next := encodeVals([]core.Val{cur + op.Arg})
+		if op.Pending {
+			return []string{next}
+		}
+		if op.Ret == cur {
+			return []string{next}
+		}
+		return nil
+	case "get":
+		if op.Pending || op.Ret == cur {
+			return []string{state}
+		}
+		return nil
+	}
+	return nil
+}
+
+// SetSpec is a set of values with "ins", "rem" (Arg, RetOK=changed) and
+// "has" (Arg, RetOK=member).
+type SetSpec struct{}
+
+func (SetSpec) Name() string { return "set" }
+func (SetSpec) Init() string { return "" }
+
+func setEncode(m map[core.Val]bool) string {
+	keys := make([]core.Val, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return encodeVals(keys)
+}
+
+func setDecode(s string) map[core.Val]bool {
+	m := map[core.Val]bool{}
+	for _, v := range decodeVals(s) {
+		m[v] = true
+	}
+	return m
+}
+
+func (SetSpec) Step(state string, op Operation) []string {
+	m := setDecode(state)
+	member := m[op.Arg]
+	switch op.Kind {
+	case "ins":
+		with := setDecode(state)
+		with[op.Arg] = true
+		if op.Pending {
+			return []string{setEncode(with)}
+		}
+		if op.RetOK != !member {
+			return nil
+		}
+		return []string{setEncode(with)}
+	case "rem":
+		without := setDecode(state)
+		delete(without, op.Arg)
+		if op.Pending {
+			return []string{setEncode(without)}
+		}
+		if op.RetOK != member {
+			return nil
+		}
+		return []string{setEncode(without)}
+	case "has":
+		if op.Pending || op.RetOK == member {
+			return []string{state}
+		}
+		return nil
+	}
+	return nil
+}
+
+// MapSpec is a key-value map with "put" (Arg=key, Arg2=value), "get"
+// (Arg=key, Ret=value, RetOK=found) and "del" (Arg=key, RetOK=existed).
+type MapSpec struct{}
+
+func (MapSpec) Name() string { return "map" }
+func (MapSpec) Init() string { return "" }
+
+func mapEncode(m map[core.Val]core.Val) string {
+	keys := make([]core.Val, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d:%d", k, m[k])
+	}
+	return strings.Join(parts, ";")
+}
+
+func mapDecode(s string) map[core.Val]core.Val {
+	m := map[core.Val]core.Val{}
+	if s == "" {
+		return m
+	}
+	for _, part := range strings.Split(s, ";") {
+		var k, v int64
+		if _, err := fmt.Sscanf(part, "%d:%d", &k, &v); err != nil {
+			panic("history: corrupt map state " + s)
+		}
+		m[core.Val(k)] = core.Val(v)
+	}
+	return m
+}
+
+func (MapSpec) Step(state string, op Operation) []string {
+	m := mapDecode(state)
+	cur, found := m[op.Arg]
+	switch op.Kind {
+	case "put":
+		with := mapDecode(state)
+		with[op.Arg] = op.Arg2
+		return []string{mapEncode(with)}
+	case "get":
+		if op.Pending {
+			return []string{state}
+		}
+		if op.RetOK {
+			if found && cur == op.Ret {
+				return []string{state}
+			}
+			return nil
+		}
+		if !found {
+			return []string{state}
+		}
+		return nil
+	case "del":
+		without := mapDecode(state)
+		delete(without, op.Arg)
+		if op.Pending {
+			return []string{mapEncode(without)}
+		}
+		if op.RetOK != found {
+			return nil
+		}
+		return []string{mapEncode(without)}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders a history as an ASCII per-client Gantt chart, for
+// debugging failed linearizability checks. Each row is a client; each
+// operation spans its invocation-to-response interval on a common stamp
+// axis; pending operations run to the right edge.
+//
+//	c0 |--enq(1)=>ok--|        |--deq=>2--|
+//	c1      |--enq(2)=>ok--|
+//
+// The axis is compressed: only stamps that begin or end an operation are
+// columns.
+func Timeline(h History) string {
+	if len(h.Ops) == 0 {
+		return "(empty history)\n"
+	}
+	// Collect clients and the stamp axis.
+	clientSet := map[int]bool{}
+	stampSet := map[uint64]bool{}
+	var maxStamp uint64
+	for _, op := range h.Ops {
+		clientSet[op.Client] = true
+		stampSet[op.Invoke] = true
+		if !op.Pending {
+			stampSet[op.Return] = true
+			if op.Return > maxStamp {
+				maxStamp = op.Return
+			}
+		}
+		if op.Invoke > maxStamp {
+			maxStamp = op.Invoke
+		}
+	}
+	clients := make([]int, 0, len(clientSet))
+	for c := range clientSet {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	stamps := make([]uint64, 0, len(stampSet))
+	for s := range stampSet {
+		stamps = append(stamps, s)
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+	col := map[uint64]int{}
+	for i, s := range stamps {
+		col[s] = i
+	}
+
+	label := func(op Operation) string {
+		out := op.Kind
+		if op.Arg != 0 || op.Kind == "put" || op.Kind == "write" || op.Kind == "enq" || op.Kind == "push" {
+			out += fmt.Sprintf("(%d", op.Arg)
+			if op.Arg2 != 0 {
+				out += fmt.Sprintf(",%d", op.Arg2)
+			}
+			out += ")"
+		}
+		if op.Pending {
+			return out + "=>?"
+		}
+		if op.RetOK {
+			return out + fmt.Sprintf("=>%d", op.Ret)
+		}
+		return out + "=>⊥"
+	}
+
+	// Column widths: wide enough for any label starting there.
+	colWidth := make([]int, len(stamps))
+	for i := range colWidth {
+		colWidth[i] = 2
+	}
+	for _, op := range h.Ops {
+		c := col[op.Invoke]
+		if w := len(label(op)) + 4; w > colWidth[c] {
+			colWidth[c] = w
+		}
+	}
+	colStart := make([]int, len(stamps)+1)
+	for i, w := range colWidth {
+		colStart[i+1] = colStart[i] + w
+	}
+
+	var sb strings.Builder
+	for _, client := range clients {
+		row := []rune(strings.Repeat(" ", colStart[len(stamps)]+8))
+		for _, op := range h.Ops {
+			if op.Client != client {
+				continue
+			}
+			start := colStart[col[op.Invoke]]
+			end := colStart[len(stamps)] + 4
+			if !op.Pending {
+				end = colStart[col[op.Return]]
+			}
+			if end <= start {
+				end = start + 1
+			}
+			text := "|" + label(op)
+			for i := start; i < end && i < len(row); i++ {
+				row[i] = '-'
+			}
+			copy(row[start:], []rune(text))
+			if end < len(row) {
+				row[end] = '|'
+			}
+		}
+		fmt.Fprintf(&sb, "c%-3d %s\n", client, strings.TrimRight(string(row), " "))
+	}
+	return sb.String()
+}

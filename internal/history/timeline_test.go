@@ -1,0 +1,53 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRendersAllClientsAndOps(t *testing.T) {
+	h := History{Ops: []Operation{
+		op(0, "enq", 1, 0, true, 1, 4),
+		op(1, "deq", 0, 1, true, 2, 6),
+		pend(0, "enq", 7, 8),
+	}}
+	out := Timeline(h)
+	t.Logf("\n%s", out)
+	if !strings.Contains(out, "c0") || !strings.Contains(out, "c1") {
+		t.Errorf("missing client rows:\n%s", out)
+	}
+	for _, frag := range []string{"enq(1)", "deq", "enq(7)=>?"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("want one row per client, got %d rows", len(lines))
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if out := Timeline(History{}); !strings.Contains(out, "empty") {
+		t.Errorf("empty history rendering: %q", out)
+	}
+}
+
+func TestTimelineOverlapVisible(t *testing.T) {
+	// Two overlapping ops by different clients must start at different
+	// columns reflecting their stamps.
+	h := History{Ops: []Operation{
+		op(0, "write", 5, 0, true, 1, 10),
+		op(1, "read", 0, 5, true, 3, 8),
+	}}
+	out := Timeline(h)
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	w := strings.Index(rows[0], "|write")
+	r := strings.Index(rows[1], "|read")
+	if w < 0 || r < 0 || r <= w {
+		t.Errorf("overlap not reflected (write at %d, read at %d):\n%s", w, r, out)
+	}
+}

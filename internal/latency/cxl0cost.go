@@ -1,0 +1,88 @@
+package latency
+
+import "cxl0/internal/core"
+
+// CXL0Cost returns the modeled cost, in nanoseconds, of one CXL0 primitive
+// issued in a symmetric future CXL system (every primitive available on
+// every node, as §4's "future configurations" anticipate). local says
+// whether the issuing machine owns the accessed line.
+//
+// The runtime (package memsim) charges these costs to its simulated clock,
+// which is what makes the §6.1 performance comparisons between persistence
+// strategies meaningful: an MStore-everything transformation pays the full
+// remote-memory round trip on every write, while FliT's LStore+RFlush pays
+// it only at flush points, and the owner-local optimisation replaces remote
+// flushes with local ones.
+func (m *Model) CXL0Cost(op core.Op, local bool) float64 {
+	return m.CXL0CostCached(op, local, false)
+}
+
+// CXL0CostCached refines CXL0Cost with line hotness: cached says whether
+// the issuing machine's cache already holds the line, in which case loads
+// and the read half of RMWs are cache hits rather than full fills. Flushes
+// and MStores always pay the full propagation path.
+func (m *Model) CXL0CostCached(op core.Op, local, cached bool) float64 {
+	c := m.C
+	rtt := 2 * c.LinkHop
+	localLoad := c.HostDRAM
+	remoteLoad := rtt + c.DevMem
+	localPersist := c.HostDRAM + c.FenceLocal
+	remotePersist := rtt + c.DevMem + c.FenceLocal + c.DevIPOverhead
+	loadCost := func() float64 {
+		if cached {
+			return c.CacheHit
+		}
+		if local {
+			return localLoad
+		}
+		return remoteLoad
+	}
+
+	switch op {
+	case core.OpLoad:
+		return loadCost()
+	case core.OpLStore:
+		return c.HostWriteBuffer
+	case core.OpRStore:
+		if local {
+			return c.HostWriteBuffer // RStore by the owner ≡ LStore
+		}
+		return rtt // push into the owner's cache
+	case core.OpMStore:
+		if local {
+			return localPersist
+		}
+		return remotePersist
+	case core.OpLFlush:
+		if local {
+			return localPersist // owner's LFlush drains to local memory
+		}
+		return rtt // drains into the owner's cache
+	case core.OpRFlush:
+		if local {
+			// Even a local RFlush must confirm that no remote cache holds
+			// the line — one fabric round trip on top of the local drain.
+			// (This is exactly the cost the §6.1 owner-local LFlush
+			// optimisation removes.)
+			return localPersist + rtt
+		}
+		return remotePersist
+	case core.OpGPF:
+		// Two-phase global drain: several fabric round trips.
+		return 4*rtt + c.DevMem + c.HostDRAM
+	case core.OpLRMW:
+		// Line pull (or hit) plus locked update in the local cache.
+		return loadCost() + c.FenceLocal
+	case core.OpRRMW:
+		if local {
+			return loadCost() + c.FenceLocal
+		}
+		return loadCost() + rtt
+	case core.OpMRMW:
+		if local {
+			return loadCost() + localPersist
+		}
+		return loadCost() + remotePersist
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package latency
+
+import (
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// TestCXL0CostShape checks the structural properties of the runtime cost
+// model: remote costs dominate local ones, persistence dominates caching,
+// hot lines are nearly free to read, and every primitive has a positive
+// cost.
+func TestCXL0CostShape(t *testing.T) {
+	m := NewModel()
+	ops := []core.Op{
+		core.OpLoad, core.OpLStore, core.OpRStore, core.OpMStore,
+		core.OpLFlush, core.OpRFlush, core.OpGPF,
+		core.OpLRMW, core.OpRRMW, core.OpMRMW,
+	}
+	for _, op := range ops {
+		for _, local := range []bool{true, false} {
+			if c := m.CXL0Cost(op, local); c <= 0 {
+				t.Errorf("CXL0Cost(%v, local=%v) = %.1f", op, local, c)
+			}
+		}
+	}
+	// Remote ≥ local for the memory-touching primitives.
+	for _, op := range []core.Op{core.OpLoad, core.OpMStore, core.OpRFlush, core.OpMRMW} {
+		if m.CXL0Cost(op, false) < m.CXL0Cost(op, true) {
+			t.Errorf("%v: remote cheaper than local", op)
+		}
+	}
+	// LStore is the cheapest primitive (write-buffer absorption).
+	ls := m.CXL0Cost(core.OpLStore, false)
+	for _, op := range []core.Op{core.OpLoad, core.OpMStore, core.OpRFlush, core.OpLRMW} {
+		if m.CXL0Cost(op, false) <= ls {
+			t.Errorf("%v remote not above LStore", op)
+		}
+	}
+	// Hot loads are near-free compared to cold ones.
+	hot := m.CXL0CostCached(core.OpLoad, false, true)
+	cold := m.CXL0CostCached(core.OpLoad, false, false)
+	if hot*10 > cold {
+		t.Errorf("hot load %.1f not ≪ cold load %.1f", hot, cold)
+	}
+	// The §6.1 point: a local RFlush pays a fabric confirmation that a
+	// local LFlush avoids.
+	if m.CXL0Cost(core.OpRFlush, true) <= m.CXL0Cost(core.OpLFlush, true) {
+		t.Errorf("local RFlush not above local LFlush")
+	}
+	// GPF is the most expensive single primitive.
+	gpf := m.CXL0Cost(core.OpGPF, false)
+	for _, op := range ops {
+		if op == core.OpGPF {
+			continue
+		}
+		if m.CXL0Cost(op, false) >= gpf {
+			t.Errorf("%v costs more than GPF", op)
+		}
+	}
+	// RStore by the owner degenerates to LStore.
+	if m.CXL0Cost(core.OpRStore, true) != m.CXL0Cost(core.OpLStore, true) {
+		t.Errorf("owner RStore != LStore cost")
+	}
+}
+
+// TestCXL0CostOrderingMatchesProp1Strength: stronger primitives (per
+// Proposition 1) cost at least as much as the ones they strengthen, for
+// remote accesses.
+func TestCXL0CostOrderingMatchesProp1Strength(t *testing.T) {
+	m := NewModel()
+	pairs := [][2]core.Op{
+		{core.OpLStore, core.OpRStore}, // RStore stronger than LStore
+		{core.OpRStore, core.OpMStore}, // MStore stronger than RStore
+		{core.OpLFlush, core.OpRFlush}, // RFlush stronger than LFlush
+	}
+	for _, p := range pairs {
+		weak, strong := m.CXL0Cost(p[0], false), m.CXL0Cost(p[1], false)
+		if strong < weak {
+			t.Errorf("stronger %v (%.0f) cheaper than weaker %v (%.0f)", p[1], strong, p[0], weak)
+		}
+	}
+}

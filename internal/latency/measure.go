@@ -1,0 +1,193 @@
+package latency
+
+import (
+	"fmt"
+	"sort"
+
+	"cxl0/internal/cxlsim"
+)
+
+// splitmix64 advances a deterministic PRNG state; used to jitter samples
+// the way real measurements scatter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sample returns the i-th measured latency of a primitive: the model cost
+// plus deterministic measurement noise (up to ±6%, with an occasional
+// long-tail outlier, as DRAM refresh and link retraining produce in
+// practice).
+func (m *Model) Sample(class AccessClass, p cxlsim.Primitive, i int) (ns float64, ok bool) {
+	base, ok := m.Latency(class, p)
+	if !ok {
+		return 0, false
+	}
+	h := splitmix64(uint64(class)<<40 ^ uint64(p)<<20 ^ uint64(i))
+	jitter := (float64(h%1200) - 600) / 10000 // ±6%
+	ns = base * (1 + jitter)
+	if h%97 == 0 { // rare long tail
+		ns += base * 0.5
+	}
+	return ns, true
+}
+
+// Measure returns the median of n samples, mirroring §5.2's "median over
+// 1000 measurements of sequential memory accesses".
+func (m *Model) Measure(class AccessClass, p cxlsim.Primitive, n int) (ns float64, ok bool) {
+	if _, ok := m.Latency(class, p); !ok {
+		return 0, false
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i], _ = m.Sample(class, p, i)
+	}
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2], true
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2, true
+}
+
+// Figure5Primitives lists the x-axis of Figure 5 in order.
+var Figure5Primitives = []cxlsim.Primitive{
+	cxlsim.PRead, cxlsim.PLStore, cxlsim.PRStore, cxlsim.PMStore, cxlsim.PLFlush, cxlsim.PRFlush,
+}
+
+// Figure5Cell is one bar of Figure 5.
+type Figure5Cell struct {
+	Class      AccessClass
+	Prim       cxlsim.Primitive
+	MedianNS   float64
+	Measurable bool
+}
+
+// Figure5 regenerates all bars of Figure 5: the median of `samples`
+// measurements for every (primitive, access class) pair, with
+// not-measurable cells marked.
+func Figure5(m *Model, samples int) []Figure5Cell {
+	var out []Figure5Cell
+	for _, p := range Figure5Primitives {
+		for _, c := range Classes {
+			med, ok := m.Measure(c, p, samples)
+			out = append(out, Figure5Cell{Class: c, Prim: p, MedianNS: med, Measurable: ok})
+		}
+	}
+	return out
+}
+
+// Ratio is a named latency ratio with the paper's reported value.
+type Ratio struct {
+	Name      string
+	Value     float64
+	PaperSays float64
+}
+
+// Figure5Ratios computes the relative claims of §5.2 from the model, paired
+// with the paper's numbers.
+func Figure5Ratios(m *Model) []Ratio {
+	at := func(c AccessClass, p cxlsim.Primitive) float64 {
+		v, ok := m.Latency(c, p)
+		if !ok {
+			panic(fmt.Sprintf("latency: ratio over unmeasurable cell %v/%v", c, p))
+		}
+		return v
+	}
+	return []Ratio{
+		{
+			Name:      "host remote/local Read",
+			Value:     at(HostToHDM, cxlsim.PRead) / at(HostToHM, cxlsim.PRead),
+			PaperSays: 2.34,
+		},
+		{
+			Name:      "device remote/local Read",
+			Value:     at(DevToHM, cxlsim.PRead) / at(DevToHDMDeviceBias, cxlsim.PRead),
+			PaperSays: 1.94,
+		},
+		{
+			Name:      "device->HM MStore/RStore",
+			Value:     at(DevToHM, cxlsim.PMStore) / at(DevToHM, cxlsim.PRStore),
+			PaperSays: 1.45,
+		},
+		{
+			Name:      "device->HM RStore/LStore",
+			Value:     at(DevToHM, cxlsim.PRStore) / at(DevToHM, cxlsim.PLStore),
+			PaperSays: 2.08,
+		},
+		{
+			Name:      "host remote Read vs device remote Read",
+			Value:     at(DevToHM, cxlsim.PRead) / at(HostToHDM, cxlsim.PRead),
+			PaperSays: 1.0,
+		},
+		{
+			Name:      "host RFlush/MStore (HDM)",
+			Value:     at(HostToHDM, cxlsim.PRFlush) / at(HostToHDM, cxlsim.PMStore),
+			PaperSays: 1.0,
+		},
+		{
+			Name:      "device RFlush/MStore (HM)",
+			Value:     at(DevToHM, cxlsim.PRFlush) / at(DevToHM, cxlsim.PMStore),
+			PaperSays: 1.0,
+		},
+	}
+}
+
+// Generation is a projected CXL hardware generation for the what-if study:
+// the paper expects its latency trends to "persist in subsequent CXL
+// versions"; Projection quantifies how the §5.2 ratios move as link and
+// memory components improve.
+type Generation struct {
+	Name string
+	// LinkScale scales the per-hop link cost (PCIe generation gains).
+	LinkScale float64
+	// MemScale scales the device-memory access cost.
+	MemScale float64
+}
+
+// Generations is a plausible progression: the measured CXL 1.1/PCIe 5
+// testbed, a PCIe 6 part, and a mature far-future part.
+var Generations = []Generation{
+	{Name: "CXL1.1/PCIe5 (measured)", LinkScale: 1.0, MemScale: 1.0},
+	{Name: "CXL2.0/PCIe6", LinkScale: 0.7, MemScale: 0.9},
+	{Name: "CXL3.x/PCIe7", LinkScale: 0.5, MemScale: 0.85},
+}
+
+// Project returns a model with scaled link/memory components.
+func Project(g Generation) *Model {
+	c := DefaultComponents()
+	c.LinkHop *= g.LinkScale
+	c.BiasPermission *= g.LinkScale
+	c.DevIPOverhead *= g.LinkScale
+	c.DevMem *= g.MemScale
+	return &Model{C: c}
+}
+
+// ProjectionRow is one generation's headline numbers.
+type ProjectionRow struct {
+	Generation      Generation
+	HostRemoteRead  float64
+	HostLocalRead   float64
+	RemoteOverLocal float64
+}
+
+// Projection computes the local/remote read gap across generations: the
+// structural penalty of disaggregation shrinks with every link generation
+// but never disappears — the persistent motivation for data-placement
+// control (§5's conclusion).
+func Projection() []ProjectionRow {
+	var out []ProjectionRow
+	for _, g := range Generations {
+		m := Project(g)
+		local, _ := m.Latency(HostToHM, cxlsim.PRead)
+		remote, _ := m.Latency(HostToHDM, cxlsim.PRead)
+		out = append(out, ProjectionRow{
+			Generation:      g,
+			HostRemoteRead:  remote,
+			HostLocalRead:   local,
+			RemoteOverLocal: remote / local,
+		})
+	}
+	return out
+}

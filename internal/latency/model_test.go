@@ -1,0 +1,142 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"cxl0/internal/cxlsim"
+)
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s = %.3f, want %.3f (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+// TestFigure5Ratios checks every relative claim of §5.2 against the model.
+func TestFigure5Ratios(t *testing.T) {
+	m := NewModel()
+	for _, r := range Figure5Ratios(m) {
+		within(t, r.Name, r.Value, r.PaperSays, 0.15)
+	}
+}
+
+// TestNotMeasurableCells checks that exactly the paper's seven bars are
+// unmeasurable: host RStore and LFlush (2 classes each) and device LFlush
+// (3 classes).
+func TestNotMeasurableCells(t *testing.T) {
+	m := NewModel()
+	count := 0
+	for _, p := range Figure5Primitives {
+		for _, c := range Classes {
+			hostClass := c == HostToHM || c == HostToHDM
+			var want bool
+			switch {
+			case p == cxlsim.PLFlush:
+				want = true
+			case p == cxlsim.PRStore && hostClass:
+				want = true
+			}
+			got := m.NotMeasurable(c, p)
+			if got != want {
+				t.Errorf("NotMeasurable(%v, %v) = %v, want %v", c, p, got, want)
+			}
+			if got {
+				count++
+			}
+		}
+	}
+	if count != 7 {
+		t.Errorf("unmeasurable cells = %d, want 7", count)
+	}
+}
+
+// TestOrderingLStoreLtRStoreLtMStore checks the paper's expected latency
+// trend for the store primitives wherever all three are measurable.
+func TestOrderingLStoreLtRStoreLtMStore(t *testing.T) {
+	m := NewModel()
+	for _, c := range []AccessClass{DevToHM, DevToHDMHostBias, DevToHDMDeviceBias} {
+		l, _ := m.Latency(c, cxlsim.PLStore)
+		r, _ := m.Latency(c, cxlsim.PRStore)
+		s, _ := m.Latency(c, cxlsim.PMStore)
+		if !(l < r && r < s) {
+			t.Errorf("%v: want LStore < RStore < MStore, got %.0f, %.0f, %.0f", c, l, r, s)
+		}
+	}
+}
+
+// TestHostWriteBufferAdvantage checks that the CPU's LStore outruns the
+// device's (the CPU has deep write buffers; the IP has a single cache
+// level), and that the device's HM cache writes are slower than HDM ones.
+func TestHostWriteBufferAdvantage(t *testing.T) {
+	m := NewModel()
+	host, _ := m.Latency(HostToHM, cxlsim.PLStore)
+	devHM, _ := m.Latency(DevToHM, cxlsim.PLStore)
+	devHDM, _ := m.Latency(DevToHDMDeviceBias, cxlsim.PLStore)
+	if host >= devHM || host >= devHDM {
+		t.Errorf("host LStore (%.0f) should beat device LStores (%.0f, %.0f)", host, devHM, devHDM)
+	}
+	if devHM <= devHDM {
+		t.Errorf("device LStore to HM (%.0f) should be slower than to HDM (%.0f)", devHM, devHDM)
+	}
+}
+
+// TestBiasModeCost checks host-bias access costs more than device-bias.
+func TestBiasModeCost(t *testing.T) {
+	m := NewModel()
+	for _, p := range []cxlsim.Primitive{cxlsim.PRead, cxlsim.PMStore, cxlsim.PRFlush} {
+		hb, _ := m.Latency(DevToHDMHostBias, p)
+		db, _ := m.Latency(DevToHDMDeviceBias, p)
+		if hb <= db {
+			t.Errorf("%v: host-bias (%.0f) should cost more than device-bias (%.0f)", p, hb, db)
+		}
+	}
+}
+
+// TestMeasureMedianNearModel checks the measurement harness: the median of
+// many jittered samples stays within 2% of the model value.
+func TestMeasureMedianNearModel(t *testing.T) {
+	m := NewModel()
+	for _, c := range Classes {
+		for _, p := range Figure5Primitives {
+			base, ok := m.Latency(c, p)
+			if !ok {
+				if _, mok := m.Measure(c, p, 1000); mok {
+					t.Errorf("Measure(%v,%v) measurable but Latency is not", c, p)
+				}
+				continue
+			}
+			med, _ := m.Measure(c, p, 1001)
+			within(t, "median "+c.String()+"/"+p.String(), med, base, 0.02)
+		}
+	}
+}
+
+// TestMeasureDeterministic confirms repeated measurement yields identical
+// medians (the harness is deterministic for reproducibility).
+func TestMeasureDeterministic(t *testing.T) {
+	m := NewModel()
+	a, _ := m.Measure(HostToHDM, cxlsim.PRead, 1000)
+	b, _ := m.Measure(HostToHDM, cxlsim.PRead, 1000)
+	if a != b {
+		t.Errorf("measurement not deterministic: %f vs %f", a, b)
+	}
+}
+
+// TestFigure5Shape checks the full figure: 30 bars, measurable values in a
+// plausible 0–600 ns range (the figure's y-axis).
+func TestFigure5Shape(t *testing.T) {
+	cells := Figure5(NewModel(), 1001)
+	if len(cells) != 30 {
+		t.Fatalf("Figure 5 has %d bars, want 30", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Measurable {
+			continue
+		}
+		if c.MedianNS <= 0 || c.MedianNS > 600 {
+			t.Errorf("%v/%v: median %.0f ns outside the figure's range", c.Class, c.Prim, c.MedianNS)
+		}
+	}
+}

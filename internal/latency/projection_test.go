@@ -1,0 +1,41 @@
+package latency
+
+import "testing"
+
+// TestProjectionShrinksButKeepsGap: faster links shrink the remote/local
+// read ratio monotonically, but the gap stays well above 1 — remote memory
+// never becomes free.
+func TestProjectionShrinksButKeepsGap(t *testing.T) {
+	rows := Projection()
+	if len(rows) != len(Generations) {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if r0 := rows[0].RemoteOverLocal; r0 < 2.2 || r0 > 2.5 {
+		t.Errorf("measured-generation ratio %.2f should match the paper's 2.34", r0)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RemoteOverLocal >= rows[i-1].RemoteOverLocal {
+			t.Errorf("ratio not shrinking: %v", rows)
+		}
+	}
+	last := rows[len(rows)-1].RemoteOverLocal
+	if last < 1.3 {
+		t.Errorf("final-generation ratio %.2f implausibly small — memory access itself bounds it", last)
+	}
+}
+
+// TestProjectUnchangedBaseline: the identity generation reproduces the
+// default model exactly.
+func TestProjectUnchangedBaseline(t *testing.T) {
+	m := Project(Generations[0])
+	d := NewModel()
+	for _, c := range Classes {
+		for _, p := range Figure5Primitives {
+			a, okA := m.Latency(c, p)
+			b, okB := d.Latency(c, p)
+			if okA != okB || a != b {
+				t.Fatalf("%v/%v: projected %v,%v vs default %v,%v", c, p, a, okA, b, okB)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package litmus
+
+import (
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// TestExtendedCorpus re-derives every verdict of the extended corpus (the
+// reproduction-finding traces) from the model.
+func TestExtendedCorpus(t *testing.T) {
+	tests := Extended()
+	if len(tests) < 10 {
+		t.Fatalf("extended corpus has %d tests", len(tests))
+	}
+	for _, r := range RunAll(tests) {
+		if !r.Agrees() {
+			t.Errorf("extended test %d %q under %v: got %s, expected %s\n  note: %s",
+				r.Test.ID, r.Test.Paper, r.Variant, Mark(r.Got), Mark(r.Expected), r.Test.Note)
+		}
+	}
+}
+
+// TestExtendedCrashWindowPair pins the F2 pair: with the crash in the
+// store-flush window both survival and loss are reachable — the crux of
+// the vacuous-flush finding.
+func TestExtendedCrashWindowPair(t *testing.T) {
+	var loss, survival *Test
+	for _, tt := range Extended() {
+		switch tt.ID {
+		case 101:
+			loss = tt
+		case 102:
+			survival = tt
+		}
+	}
+	if loss == nil || survival == nil {
+		t.Fatal("F2 pair missing from corpus")
+	}
+	if !loss.Run(core.Base) || !survival.Run(core.Base) {
+		t.Fatalf("both outcomes of the crash window must be reachable")
+	}
+}

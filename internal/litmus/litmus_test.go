@@ -1,0 +1,90 @@
+package litmus
+
+import (
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// TestFigure3 re-derives the verdicts of all nine Figure 3 litmus tests and
+// compares them with the paper.
+func TestFigure3(t *testing.T) {
+	for _, r := range RunAll(Figure3()) {
+		if !r.Agrees() {
+			t.Errorf("test %d %q under %v: got %s, paper says %s",
+				r.Test.ID, r.Test.Paper, r.Variant, Mark(r.Got), Mark(r.Expected))
+		}
+	}
+}
+
+// TestVariantTriples re-derives the (CXL0, LWB, PSN) verdict triples of
+// tests 10–12.
+func TestVariantTriples(t *testing.T) {
+	for _, r := range RunAll(VariantTests()) {
+		if !r.Agrees() {
+			t.Errorf("test %d %q under %v: got %s, paper says %s",
+				r.Test.ID, r.Test.Paper, r.Variant, Mark(r.Got), Mark(r.Expected))
+		}
+	}
+}
+
+// TestVariantsAreIncomparable confirms the paper's claim that PSN and LWB
+// are incomparable: each forbids a trace the other allows.
+func TestVariantsAreIncomparable(t *testing.T) {
+	var lwbStricterSomewhere, psnStricterSomewhere bool
+	for _, tt := range VariantTests() {
+		lwb, psn := tt.Run(core.LWB), tt.Run(core.PSN)
+		if psn && !lwb {
+			lwbStricterSomewhere = true
+		}
+		if lwb && !psn {
+			psnStricterSomewhere = true
+		}
+	}
+	if !lwbStricterSomewhere || !psnStricterSomewhere {
+		t.Errorf("variants not shown incomparable: lwbStricter=%v psnStricter=%v",
+			lwbStricterSomewhere, psnStricterSomewhere)
+	}
+}
+
+// TestMotivatingVerdicts checks the §6 example end-to-end: the plain LStore
+// program fails the assertion; MStore or RFlush repairs it.
+func TestMotivatingVerdicts(t *testing.T) {
+	if MotivatingAssertionHolds(core.OpLStore, false) {
+		t.Errorf("plain LStore program unexpectedly satisfies assert(r1==r2)")
+	}
+	if !MotivatingAssertionHolds(core.OpMStore, false) {
+		t.Errorf("MStore repair does not satisfy the assertion")
+	}
+	if !MotivatingAssertionHolds(core.OpLStore, true) {
+		t.Errorf("RFlush repair does not satisfy the assertion")
+	}
+}
+
+// TestCorpusShape sanity-checks the corpus statically.
+func TestCorpusShape(t *testing.T) {
+	f3 := Figure3()
+	if len(f3) != 9 {
+		t.Fatalf("Figure 3 corpus has %d tests, want 9", len(f3))
+	}
+	for i, tt := range f3 {
+		if tt.ID != i+1 {
+			t.Errorf("test %d has ID %d", i+1, tt.ID)
+		}
+		if len(tt.Trace) == 0 || tt.Paper == "" {
+			t.Errorf("test %d incomplete", tt.ID)
+		}
+		if _, ok := tt.Expected[core.Base]; !ok {
+			t.Errorf("test %d missing Base expectation", tt.ID)
+		}
+	}
+	vt := VariantTests()
+	if len(vt) != 3 {
+		t.Fatalf("variant corpus has %d tests, want 3", len(vt))
+	}
+	for _, tt := range vt {
+		if len(tt.Expected) != 3 {
+			t.Errorf("test %d: want verdicts for all three variants", tt.ID)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package memsim is an executable runtime for the CXL0 model: a simulated
+// cluster of machines sharing coherent disaggregated memory, on which real
+// goroutines run concurrent algorithms against the paper's operational
+// semantics.
+//
+// Every primitive takes the cluster's global lock and applies the
+// corresponding CXL0 transition from package core, so the set of traces the
+// runtime can produce is exactly the set the LTS allows. Nondeterministic
+// cache eviction (the τ steps) is injected probabilistically after
+// operations and on demand via Churn; crashes and recoveries are injected
+// through Crash and Recover. A simulated clock charges each primitive the
+// latency model's cost, enabling performance comparisons between
+// persistence strategies that wall-clock time on a single host cannot
+// expose.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cxl0/internal/core"
+	"cxl0/internal/latency"
+)
+
+// ErrCrashed is returned by thread operations after the thread's machine
+// crashed: the thread's local state (registers, program counter) is gone,
+// per the paper's failure model. A fresh thread must be created after
+// Recover.
+var ErrCrashed = errors.New("memsim: machine crashed; thread lost")
+
+// ErrOutOfMemory is returned when a machine's heap is exhausted.
+var ErrOutOfMemory = errors.New("memsim: machine heap exhausted")
+
+// MachineConfig describes one machine of a cluster.
+type MachineConfig struct {
+	Name string
+	Mem  core.MemKind
+	// Heap is the number of shared memory locations attached to this
+	// machine.
+	Heap int
+}
+
+// Config controls a cluster's nondeterminism and cost accounting.
+type Config struct {
+	// Variant selects the model flavour (Base, PSN, LWB).
+	Variant core.Variant
+	// EvictEvery injects one random τ propagation step after roughly every
+	// n-th primitive (0 disables background eviction; 1 evicts after every
+	// operation).
+	EvictEvery int
+	// Seed drives the eviction randomness, for reproducibility.
+	Seed int64
+	// Latency, when non-nil, charges each primitive its modeled cost on
+	// the simulated clock.
+	Latency *latency.Model
+}
+
+// Cluster is a running CXL0 system.
+type Cluster struct {
+	mu    sync.Mutex
+	topo  *core.Topology
+	st    *core.State
+	cfg   Config
+	rng   *rand.Rand
+	alive []bool
+	epoch []uint64
+	// allocation state, per machine
+	heapBase []core.LocID
+	heapSize []int
+	heapNext []int
+
+	clockNS float64
+	stamp   uint64
+	opCount uint64
+	opStats [16]uint64 // indexed by core.Op
+
+	// hot tracks, per machine, lines for which the machine holds a CLEAN
+	// cached copy. The CXL0 LTS deliberately does not model clean copies
+	// (a copy equal to memory is observationally irrelevant for crash
+	// behaviour, so LOAD-from-M leaves C unchanged), but they matter for
+	// cost: real hardware serves repeated reads of a clean line from
+	// cache. This overlay exists purely for latency accounting and never
+	// influences semantics.
+	hot []map[core.LocID]bool
+}
+
+// NewCluster builds a cluster with the given machines and pre-provisioned
+// heaps.
+func NewCluster(machines []MachineConfig, cfg Config) *Cluster {
+	topo := core.NewTopology()
+	c := &Cluster{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, mc := range machines {
+		m := topo.AddMachine(mc.Name, mc.Mem)
+		c.heapBase = append(c.heapBase, core.LocID(topo.NumLocs()))
+		c.heapSize = append(c.heapSize, mc.Heap)
+		c.heapNext = append(c.heapNext, 0)
+		if mc.Heap > 0 {
+			topo.AddLocs(m, mc.Heap)
+		}
+		c.alive = append(c.alive, true)
+		c.epoch = append(c.epoch, 0)
+		c.hot = append(c.hot, map[core.LocID]bool{})
+	}
+	c.topo = topo
+	c.st = core.NewState(topo)
+	return c
+}
+
+// Topology returns the cluster's topology.
+func (c *Cluster) Topology() *core.Topology { return c.topo }
+
+// Machines returns the number of machines.
+func (c *Cluster) Machines() int { return c.topo.NumMachines() }
+
+// Alloc reserves n contiguous locations on machine m's heap.
+func (c *Cluster) Alloc(m core.MachineID, n int) (core.LocID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.heapNext[m]+n > c.heapSize[m] {
+		return 0, fmt.Errorf("%w: machine %s (%d of %d used)",
+			ErrOutOfMemory, c.topo.MachineName(m), c.heapNext[m], c.heapSize[m])
+	}
+	l := c.heapBase[m] + core.LocID(c.heapNext[m])
+	c.heapNext[m] += n
+	return l, nil
+}
+
+// Owner returns the machine owning location l.
+func (c *Cluster) Owner(l core.LocID) core.MachineID { return c.topo.Owner(l) }
+
+// NewThread creates a thread bound to machine m. It fails if m is down.
+func (c *Cluster) NewThread(m core.MachineID) (*Thread, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.alive[m] {
+		return nil, fmt.Errorf("%w: machine %s is down", ErrCrashed, c.topo.MachineName(m))
+	}
+	return &Thread{c: c, m: m, epoch: c.epoch[m]}, nil
+}
+
+// Crash fails machine m: its cache vanishes, volatile memory resets, and
+// every thread bound to it dies (subsequent operations return ErrCrashed).
+// Under the PSN variant, m-owned lines are poisoned in all other caches.
+func (c *Cluster) Crash(m core.MachineID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core.CrashInPlace(c.st, m, c.cfg.Variant)
+	c.hot[m] = map[core.LocID]bool{}
+	if c.cfg.Variant == core.PSN {
+		for j := range c.hot {
+			for x := range c.hot[j] {
+				if c.topo.Owner(x) == m {
+					delete(c.hot[j], x)
+				}
+			}
+		}
+	}
+	c.epoch[m]++
+	c.alive[m] = false
+	c.bumpStampLocked()
+}
+
+// Recover brings machine m back. Its memory retains what the crash
+// semantics preserved; new threads may now be created on it.
+func (c *Cluster) Recover(m core.MachineID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alive[m] = true
+	c.bumpStampLocked()
+}
+
+// Alive reports whether machine m is up.
+func (c *Cluster) Alive(m core.MachineID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive[m]
+}
+
+// Epoch returns machine m's crash epoch: the number of times it has
+// crashed. Surviving machines can compare epochs around an operation to
+// detect that a peer failed meanwhile — modeling the crash notifications a
+// real fabric delivers (CXL link-down and management events). The FliT
+// adaptation uses this to make its store-then-flush sequences crash-atomic.
+func (c *Cluster) Epoch(m core.MachineID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch[m]
+}
+
+// Churn performs n random τ propagation steps, modeling cache-replacement
+// pressure.
+func (c *Cluster) Churn(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		c.evictOnceLocked()
+	}
+}
+
+func (c *Cluster) evictOnceLocked() {
+	steps := core.TauSteps(c.st)
+	if len(steps) == 0 {
+		return
+	}
+	c.applyTauLocked(steps[c.rng.Intn(len(steps))])
+}
+
+// applyTauLocked performs one propagation step and maintains the hot-line
+// overlay: horizontal propagation removes the source's copy; vertical
+// propagation (writeback) invalidates the line everywhere.
+func (c *Cluster) applyTauLocked(ts core.TauStep) {
+	core.ApplyTauInPlace(c.st, ts)
+	if ts.ToMemory {
+		c.coolAllLocked(ts.Loc)
+	} else {
+		delete(c.hot[ts.From], ts.Loc)
+		c.hot[c.topo.Owner(ts.Loc)][ts.Loc] = true
+	}
+}
+
+// warmLocked records that machine m now holds a (possibly clean) copy of x.
+func (c *Cluster) warmLocked(m core.MachineID, x core.LocID) {
+	c.hot[m][x] = true
+}
+
+// coolExceptLocked invalidates x in every machine's performance cache but
+// m's (a store by m gained exclusive ownership).
+func (c *Cluster) coolExceptLocked(m core.MachineID, x core.LocID) {
+	for j := range c.hot {
+		if core.MachineID(j) != m {
+			delete(c.hot[j], x)
+		}
+	}
+}
+
+// coolAllLocked invalidates x everywhere (writeback, MStore, flush).
+func (c *Cluster) coolAllLocked(x core.LocID) {
+	for j := range c.hot {
+		delete(c.hot[j], x)
+	}
+}
+
+// hotLocked reports whether machine m holds a (semantic or clean) copy of
+// x, for cost accounting.
+func (c *Cluster) hotLocked(m core.MachineID, x core.LocID) bool {
+	return c.st.Cache(m, x) != core.Bot || c.hot[m][x]
+}
+
+func (c *Cluster) maybeEvictLocked() {
+	if c.cfg.EvictEvery <= 0 {
+		return
+	}
+	c.opCount++
+	if c.opCount%uint64(c.cfg.EvictEvery) == 0 {
+		c.evictOnceLocked()
+	}
+}
+
+// Stamp returns a fresh monotonically increasing event stamp, used by
+// history recording to order invocations and responses.
+func (c *Cluster) Stamp() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bumpStampLocked()
+}
+
+func (c *Cluster) bumpStampLocked() uint64 {
+	c.stamp++
+	return c.stamp
+}
+
+// NowNS returns the simulated clock in nanoseconds.
+func (c *Cluster) NowNS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clockNS
+}
+
+func (c *Cluster) chargeLocked(op core.Op, local, cached bool) {
+	c.opStats[op]++
+	if c.cfg.Latency != nil {
+		c.clockNS += c.cfg.Latency.CXL0CostCached(op, local, cached)
+	}
+}
+
+// Stats returns the number of primitives executed so far, per CXL0
+// operation. Useful for explaining benchmark results: it shows each
+// persistence strategy's primitive mix.
+func (c *Cluster) Stats() map[core.Op]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[core.Op]uint64{}
+	for op, n := range c.opStats {
+		if n > 0 {
+			out[core.Op(op)] = n
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of the current model state, for invariant checks
+// and debugging.
+func (c *Cluster) Snapshot() *core.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Clone()
+}
+
+// CheckInvariant verifies the CXL0 global cache invariant on the live
+// state.
+func (c *Cluster) CheckInvariant() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.CheckInvariant()
+}
+
+// PersistedValue reads location l directly from its owner's memory,
+// bypassing caches — what a recovery procedure would find on the physical
+// medium. Intended for tests and post-mortem inspection.
+func (c *Cluster) PersistedValue(l core.LocID) core.Val {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Mem(l)
+}

@@ -1,0 +1,62 @@
+package memsim
+
+import (
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+// TestStatsCountPrimitives: the per-primitive counters reflect exactly the
+// operations performed.
+func TestStatsCountPrimitives(t *testing.T) {
+	c := NewCluster([]MachineConfig{
+		{Name: "a", Mem: core.NonVolatile, Heap: 8},
+		{Name: "b", Mem: core.NonVolatile, Heap: 8},
+	}, Config{})
+	th, err := c.NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := c.Alloc(1, 1)
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK(th.LStore(x, 1))
+	mustOK(th.LStore(x, 2))
+	mustOK(th.RFlush(x))
+	if _, err := th.Load(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.FAA(core.OpLRMW, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.CAS(core.OpMRMW, x, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	mustOK(th.MStore(x, 9))
+
+	stats := c.Stats()
+	want := map[core.Op]uint64{
+		core.OpLStore: 2,
+		core.OpRFlush: 1,
+		core.OpLoad:   1,
+		core.OpLRMW:   1,
+		core.OpMRMW:   1,
+		core.OpMStore: 1,
+	}
+	for op, n := range want {
+		if stats[op] != n {
+			t.Errorf("stats[%v] = %d, want %d (all: %v)", op, stats[op], n, stats)
+		}
+	}
+	// A failed CAS counts as a load.
+	if _, err := th.CAS(core.OpLRMW, x, 12345, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats()[core.OpLoad]; got != 2 {
+		t.Errorf("failed CAS not counted as a read: loads = %d", got)
+	}
+}
