@@ -23,8 +23,10 @@ import (
 	"cxl0/internal/explore"
 	"cxl0/internal/flit"
 	"cxl0/internal/flitbench"
+	"cxl0/internal/kv"
 	"cxl0/internal/latency"
 	"cxl0/internal/litmus"
+	"cxl0/internal/workload"
 )
 
 // BenchmarkFigure3Litmus regenerates the Figure 3 verdicts (litmus tests
@@ -223,6 +225,113 @@ func BenchmarkFliTQueueLocal(b *testing.B) {
 		b.Run(s.String(), func(b *testing.B) {
 			benchStrategy(b, flitbench.QueuePingPong, s, flitbench.Local)
 		})
+	}
+}
+
+// benchKVWorkload runs one KV-service workload configuration per
+// iteration and reports its simulated throughput and tail latency.
+func benchKVWorkload(b *testing.B, name string, strat kv.Strategy, shards int) {
+	b.Helper()
+	spec, err := workload.YCSB(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Keys = 120
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		last, err = workload.Run(workload.Options{
+			Spec:       spec,
+			Store:      kv.Config{Shards: shards, Strategy: strat, Batch: 16, EvictEvery: 8},
+			Ops:        400,
+			CrashEvery: 150,
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.ThroughputOpsPerSec, "sim-ops/sec")
+	b.ReportMetric(last.P99NS, "p99-sim-ns")
+	if last.Recoveries == 0 {
+		b.Fatal("crash churn produced no recoveries")
+	}
+}
+
+// BenchmarkKVWorkloadA measures the update-heavy YCSB-A mix across
+// persistence strategies on the sharded KV service.
+func BenchmarkKVWorkloadA(b *testing.B) {
+	for _, s := range kv.Strategies {
+		b.Run(s.String(), func(b *testing.B) {
+			benchKVWorkload(b, "A", s, 2)
+		})
+	}
+}
+
+// BenchmarkKVWorkloadE measures the scan-heavy YCSB-E mix.
+func BenchmarkKVWorkloadE(b *testing.B) {
+	for _, s := range []kv.Strategy{kv.MStoreEach, kv.GPFEach, kv.GroupCommit} {
+		b.Run(s.String(), func(b *testing.B) {
+			benchKVWorkload(b, "E", s, 2)
+		})
+	}
+}
+
+// BenchmarkKVGroupCommit verifies and tracks the headline batching claim:
+// group commit beats per-op GPF on simulated throughput.
+func BenchmarkKVGroupCommit(b *testing.B) {
+	spec, err := workload.YCSB("A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Keys = 120
+	run := func(s kv.Strategy) workload.Result {
+		res, err := workload.Run(workload.Options{
+			Spec:  spec,
+			Store: kv.Config{Shards: 2, Strategy: s, Batch: 16},
+			Ops:   400,
+			Seed:  2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = run(kv.GroupCommit).ThroughputOpsPerSec / run(kv.GPFEach).ThroughputOpsPerSec
+	}
+	b.ReportMetric(speedup, "group-vs-gpf-speedup")
+	if speedup <= 1 {
+		b.Fatalf("group commit speedup %.2fx <= 1x over per-op GPF", speedup)
+	}
+}
+
+// BenchmarkKVRecovery tracks shard crash-recovery time on the simulated
+// clock.
+func BenchmarkKVRecovery(b *testing.B) {
+	spec, err := workload.YCSB("B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Keys = 200
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		last, err = workload.Run(workload.Options{
+			Spec:       spec,
+			Store:      kv.Config{Shards: 2, Strategy: kv.GroupCommit, Batch: 16, EvictEvery: 6},
+			Ops:        600,
+			CrashEvery: 200,
+			Seed:       3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(last.Recoveries), "recoveries")
+	b.ReportMetric(last.RecoveryMeanNS, "recovery-mean-sim-ns")
+	b.ReportMetric(last.RecoveryMaxNS, "recovery-max-sim-ns")
+	if last.Recoveries == 0 || last.RecoveryMeanNS <= 0 {
+		b.Fatal("no recovery times recorded")
 	}
 }
 

@@ -1,0 +1,207 @@
+// Command cxl0-bench runs the KV service benchmark matrix: YCSB-style
+// workloads × persistence strategies × shard counts × hardware variants,
+// all on the simulated CXL clock. It prints a result table and writes a
+// machine-readable BENCH_kv.json capturing the repo's performance
+// trajectory.
+//
+// Example:
+//
+//	go run ./cmd/cxl0-bench -ops 2000 -workloads A,E -shards 1,4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+	"cxl0/internal/workload"
+)
+
+// benchFile is the JSON artifact written after a run.
+type benchFile struct {
+	Paper     string            `json:"paper"`
+	Benchmark string            `json:"benchmark"`
+	Config    benchConfig       `json:"config"`
+	Results   []workload.Result `json:"results"`
+	Headline  headline          `json:"headline"`
+}
+
+type benchConfig struct {
+	Ops        int      `json:"ops"`
+	Keys       int      `json:"keys"`
+	Batch      int      `json:"batch"`
+	CrashEvery int      `json:"crash_every"`
+	EvictEvery int      `json:"evict_every"`
+	Seed       int64    `json:"seed"`
+	Workloads  []string `json:"workloads"`
+	Strategies []string `json:"strategies"`
+	Shards     []int    `json:"shards"`
+	Variants   []string `json:"variants"`
+}
+
+// headline summarizes the batching claim: group commit amortizes the GPF
+// against the per-op-GPF baseline.
+type headline struct {
+	GroupVsGPFSpeedup float64 `json:"group_vs_gpf_speedup"`
+	GroupConfig       string  `json:"group_config"`
+	BestThroughput    float64 `json:"best_throughput_ops_per_sec"`
+	BestConfig        string  `json:"best_config"`
+}
+
+func main() {
+	ops := flag.Int("ops", 2000, "measured operations per configuration")
+	keys := flag.Int("keys", 400, "preloaded keyspace size")
+	batch := flag.Int("batch", 32, "group-commit batch size")
+	crashEvery := flag.Int("crash-every", 700, "ops between crash+recover cycles (0 disables)")
+	evictEvery := flag.Int("evict-every", 8, "background cache-eviction period (0 disables)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	workloadsF := flag.String("workloads", "A,E", "comma-separated YCSB workloads (A,B,C,D,E)")
+	strategiesF := flag.String("strategies", "mstore,flush,gpf,group", "comma-separated persistence strategies")
+	shardsF := flag.String("shards", "1,4", "comma-separated shard counts")
+	variantsF := flag.String("variants", "base,psn", "comma-separated hardware variants (base,psn,lwb)")
+	colocate := flag.Bool("colocate", false, "bind shard workers to the shard's machine")
+	out := flag.String("out", "BENCH_kv.json", "output JSON path (empty disables)")
+	flag.Parse()
+
+	var specs []workload.Spec
+	for _, name := range strings.Split(*workloadsF, ",") {
+		spec, err := workload.YCSB(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		spec.Keys = *keys
+		specs = append(specs, spec)
+	}
+	var strategies []kv.Strategy
+	for _, name := range strings.Split(*strategiesF, ",") {
+		s, err := kv.ParseStrategy(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		strategies = append(strategies, s)
+	}
+	var shardCounts []int
+	for _, s := range strings.Split(*shardsF, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad shard count %q", s))
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	var variants []core.Variant
+	for _, name := range strings.Split(*variantsF, ",") {
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "base":
+			variants = append(variants, core.Base)
+		case "psn":
+			variants = append(variants, core.PSN)
+		case "lwb":
+			variants = append(variants, core.LWB)
+		default:
+			fatal(fmt.Errorf("unknown variant %q (want base, psn or lwb)", name))
+		}
+	}
+
+	fmt.Printf("KV service benchmark: %d ops/config, %d keys, batch %d, crash every %d ops\n",
+		*ops, *keys, *batch, *crashEvery)
+	fmt.Printf("%-4s %-8s %7s %-9s %14s %12s %10s %10s %12s\n",
+		"wl", "strategy", "shards", "variant", "ops/sec(sim)", "p50 ns", "p95 ns", "p99 ns", "recovery ns")
+
+	var results []workload.Result
+	perOpGPF := map[string]float64{}  // workload/shards/variant -> gpf throughput
+	groupRes := map[string]*workload.Result{}
+	for _, spec := range specs {
+		for _, variant := range variants {
+			for _, nShards := range shardCounts {
+				for _, strat := range strategies {
+					res, err := workload.Run(workload.Options{
+						Spec: spec,
+						Store: kv.Config{
+							Shards:     nShards,
+							Strategy:   strat,
+							Batch:      *batch,
+							Variant:    variant,
+							EvictEvery: *evictEvery,
+							Colocate:   *colocate,
+						},
+						Ops:        *ops,
+						CrashEvery: *crashEvery,
+						Seed:       *seed,
+					})
+					if err != nil {
+						fatal(fmt.Errorf("%s/%v/%d/%v: %w", spec.Name, strat, nShards, variant, err))
+					}
+					results = append(results, res)
+					key := fmt.Sprintf("%s/%d/%s", res.Workload, res.Shards, res.Variant)
+					if strat == kv.GPFEach {
+						perOpGPF[key] = res.ThroughputOpsPerSec
+					}
+					if strat == kv.GroupCommit {
+						r := res
+						groupRes[key] = &r
+					}
+					fmt.Printf("%-4s %-8s %7d %-9s %14.0f %12.0f %10.0f %10.0f %12.0f\n",
+						res.Workload, res.Strategy, res.Shards, res.Variant,
+						res.ThroughputOpsPerSec, res.P50NS, res.P95NS, res.P99NS, res.RecoveryMeanNS)
+				}
+			}
+		}
+	}
+
+	var head headline
+	for key, g := range groupRes {
+		if base, ok := perOpGPF[key]; ok && base > 0 {
+			if sp := g.ThroughputOpsPerSec / base; sp > head.GroupVsGPFSpeedup {
+				head.GroupVsGPFSpeedup = sp
+				head.GroupConfig = key
+			}
+		}
+	}
+	for _, r := range results {
+		if r.ThroughputOpsPerSec > head.BestThroughput {
+			head.BestThroughput = r.ThroughputOpsPerSec
+			head.BestConfig = fmt.Sprintf("%s/%s/%d/%s", r.Workload, r.Strategy, r.Shards, r.Variant)
+		}
+	}
+	fmt.Println()
+	if head.GroupConfig != "" {
+		fmt.Printf("headline: group commit is %.1fx per-op GPF throughput (%s)\n",
+			head.GroupVsGPFSpeedup, head.GroupConfig)
+	}
+	if head.BestConfig != "" {
+		fmt.Printf("best throughput: %.0f sim ops/sec (%s)\n", head.BestThroughput, head.BestConfig)
+	}
+
+	if *out != "" {
+		file := benchFile{
+			Paper:     "A Programming Model for Disaggregated Memory over CXL",
+			Benchmark: "sharded durable KV service (internal/kv) under YCSB-style workloads (internal/workload)",
+			Config: benchConfig{
+				Ops: *ops, Keys: *keys, Batch: *batch, CrashEvery: *crashEvery,
+				EvictEvery: *evictEvery, Seed: *seed,
+				Workloads: strings.Split(*workloadsF, ","), Strategies: strings.Split(*strategiesF, ","),
+				Shards: shardCounts, Variants: strings.Split(*variantsF, ","),
+			},
+			Results:  results,
+			Headline: head,
+		}
+		blob, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxl0-bench:", err)
+	os.Exit(1)
+}

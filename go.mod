@@ -1,0 +1,3 @@
+module cxl0
+
+go 1.24

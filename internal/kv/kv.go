@@ -1,0 +1,186 @@
+// Package kv is a sharded, durable key-value service built on the CXL0
+// runtime: the first subsystem of this repository that *serves traffic*
+// against the simulated disaggregated-memory cluster rather than checking
+// or measuring the model itself.
+//
+// A Store shards keys by hash across the machines of a memsim.Cluster: each
+// shard owns a contiguous region of one machine's disaggregated heap and
+// holds an append-only record log there — the on-"medium" representation —
+// plus a volatile Go-side index (key → newest record slot) standing in for
+// the DRAM hashtable a real node would keep. Every log access goes through
+// memsim primitives, so each operation pays the latency model's cost on the
+// simulated clock and obeys the paper's crash semantics.
+//
+// # Persistence strategies
+//
+// How an appended record becomes durable — and therefore when the write is
+// acknowledged — is pluggable, mirroring the idioms of internal/ds and §6
+// of the paper:
+//
+//	MStoreEach  — every record word is an MStore: persistent on return,
+//	              paying the full memory round trip per word.
+//	StoreFlush  — LStore the record, then flush word by word (the owner's
+//	              LFlush when the worker is colocated with the shard,
+//	              RFlush otherwise): the paper's LStore+LFlush/RFlush idiom.
+//	RStoreFlush — RStore pushes each word into the owner's cache, then
+//	              RFlush persists it.
+//	GPFEach     — LStore the record, then issue one Global Persistent
+//	              Flush per operation: correct and simple, and the baseline
+//	              the batched strategy amortizes.
+//	GroupCommit — LStore records as they arrive (visible immediately) and
+//	              issue a single GPF per batch of Batch writes: group
+//	              commit. Writes are acknowledged at the commit point, so
+//	              the per-operation GPF cost is divided by the batch size.
+//
+// All five strategies are sound: an acknowledged write survives any crash.
+// Under GroupCommit a write enqueued but not yet committed is visible to
+// readers (like an RStore'd value in litmus test 1) and may be lost by a
+// crash — it is acknowledged, and counted durable, only once its batch's
+// GPF returns.
+//
+// # Crash recovery
+//
+// Records carry a per-slot checksum word covering (slot, key, value), so a
+// recovery scan can distinguish fully persisted records from the partial
+// leftovers of a crash. Recover scans the log in slot order until the first
+// invalid record, truncates everything after the cut (zeroing checksum
+// words with MStore, exactly like a log truncation), rebuilds the index
+// from the scanned records, and issues one GPF so the recovered prefix is
+// durable again. The simulated time spent recovering is the recovery-time
+// metric reported by RecoveryStats.
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"cxl0/internal/core"
+	"cxl0/internal/latency"
+)
+
+// ErrShardDown is returned for operations routed to a crashed shard that
+// has not been recovered yet.
+var ErrShardDown = errors.New("kv: shard machine is down")
+
+// ErrShardFull is returned when a shard's log region is exhausted
+// (compaction is future work; see ROADMAP).
+var ErrShardFull = errors.New("kv: shard log full")
+
+// ErrBadKey is returned for negative keys or non-positive values (value 0
+// is reserved for delete tombstones, negative values for the runtime).
+var ErrBadKey = errors.New("kv: keys must be >= 0 and values >= 1")
+
+// Strategy selects how writes reach persistence and when they are
+// acknowledged.
+type Strategy int
+
+const (
+	// MStoreEach writes every record word with MStore.
+	MStoreEach Strategy = iota
+	// StoreFlush writes with LStore and flushes per word (LFlush when the
+	// worker owns the shard's memory, RFlush otherwise).
+	StoreFlush
+	// RStoreFlush pushes words into the owner's cache with RStore, then
+	// persists them with RFlush.
+	RStoreFlush
+	// GPFEach follows every record with one Global Persistent Flush.
+	GPFEach
+	// GroupCommit batches writes and issues one GPF per Batch records.
+	GroupCommit
+)
+
+var strategyNames = [...]string{"mstore", "flush", "rstore", "gpf", "group"}
+
+func (s Strategy) String() string {
+	if s >= 0 && int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all persistence strategies.
+var Strategies = []Strategy{MStoreEach, StoreFlush, RStoreFlush, GPFEach, GroupCommit}
+
+// ParseStrategy converts a strategy name (as printed by String) back into a
+// Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("kv: unknown strategy %q (want one of %v)", name, Strategies)
+}
+
+// Durable reports whether a write is persistent when the operation
+// returns. GroupCommit defers durability (and acknowledgment) to the
+// batch's commit point.
+func (s Strategy) Durable() bool { return s != GroupCommit }
+
+// DefaultBatch is the GroupCommit batch size used when Config.Batch is
+// zero.
+const DefaultBatch = 32
+
+// Config describes a Store.
+type Config struct {
+	// Shards is the number of shard machines (default 1).
+	Shards int
+	// Capacity is the number of log records per shard (default 4096).
+	Capacity int
+	// Strategy selects the persistence strategy.
+	Strategy Strategy
+	// Batch is the GroupCommit batch size (default 32; ignored otherwise).
+	Batch int
+	// Variant selects the hardware model flavour (Base, PSN, LWB).
+	Variant core.Variant
+	// EvictEvery injects background cache eviction as in memsim.Config.
+	EvictEvery int
+	// Seed drives the cluster's nondeterminism.
+	Seed int64
+	// Colocate binds each shard's worker threads to the shard's own
+	// machine (owner-local access) instead of the front-end machine.
+	Colocate bool
+	// ThreadsPerShard is the number of worker threads per shard
+	// (default 1); operations round-robin across them.
+	ThreadsPerShard int
+	// Latency is the cost model charged to the simulated clock
+	// (default latency.NewModel()).
+	Latency *latency.Model
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.Batch <= 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.ThreadsPerShard <= 0 {
+		c.ThreadsPerShard = 1
+	}
+	if c.Latency == nil {
+		c.Latency = latency.NewModel()
+	}
+	return c
+}
+
+// recWords is the record layout: [key, value, chk].
+const recWords = 3
+
+// chkOf is the record checksum: a function of the slot and the record's
+// content, so a partially persisted record (some words still zero or
+// stale) fails validation during the recovery scan. Always >= 1, so a
+// never-written slot (all zeros) is invalid.
+func chkOf(slot int, key, val core.Val) core.Val {
+	h := (uint64(slot) + 1) * 0x9e3779b97f4a7c15
+	h ^= (uint64(key) + 3) * 0xff51afd7ed558ccd
+	h ^= (uint64(val) + 7) * 0xc4ceb9fe1a85ec53
+	h ^= h >> 29
+	return core.Val(h%((1<<40)-1)) + 1
+}
+
+// hashKey spreads keys over shards (Fibonacci hashing, as in ds.Map).
+func hashKey(k core.Val) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }

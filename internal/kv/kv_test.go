@@ -1,0 +1,189 @@
+package kv
+
+import (
+	"errors"
+	"testing"
+
+	"cxl0/internal/core"
+)
+
+func openTest(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBasicOps(t *testing.T) {
+	for _, strat := range Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			st := openTest(t, Config{Shards: 3, Capacity: 64, Strategy: strat, Batch: 4, Seed: 11, EvictEvery: 3})
+			for k := core.Val(0); k < 20; k++ {
+				ack, err := st.Put(k, k*10+1)
+				if err != nil {
+					t.Fatalf("put %d: %v", k, err)
+				}
+				if strat.Durable() && !ack.Durable {
+					t.Fatalf("put %d not durable under %v", k, strat)
+				}
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			for k := core.Val(0); k < 20; k++ {
+				v, ok, err := st.Get(k)
+				if err != nil || !ok || v != k*10+1 {
+					t.Fatalf("get %d = (%d, %v, %v), want (%d, true, nil)", k, v, ok, err, k*10+1)
+				}
+			}
+			if _, ok, _ := st.Get(999); ok {
+				t.Fatal("phantom key 999")
+			}
+			if _, err := st.Delete(7); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := st.Get(7); ok {
+				t.Fatal("key 7 survived delete")
+			}
+			pairs, err := st.Scan(5, 12, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []core.Val{5, 6, 8, 9, 10, 11}
+			if len(pairs) != len(want) {
+				t.Fatalf("scan [5,12) = %v, want keys %v", pairs, want)
+			}
+			for i, p := range pairs {
+				if p.Key != want[i] || p.Val != want[i]*10+1 {
+					t.Fatalf("scan pair %d = %+v, want key %d", i, p, want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	st := openTest(t, Config{Shards: 1, Capacity: 8})
+	if _, err := st.Put(-1, 5); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("negative key: %v", err)
+	}
+	if _, err := st.Put(1, 0); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("zero value: %v", err)
+	}
+	if _, _, err := st.Get(-2); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("negative get: %v", err)
+	}
+}
+
+func TestShardFull(t *testing.T) {
+	st := openTest(t, Config{Shards: 1, Capacity: 4, Strategy: MStoreEach})
+	var lastErr error
+	for k := core.Val(0); k < 10; k++ {
+		_, lastErr = st.Put(k, 1)
+		if lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrShardFull) {
+		t.Fatalf("want ErrShardFull, got %v", lastErr)
+	}
+}
+
+func TestDownShardRejectsOps(t *testing.T) {
+	st := openTest(t, Config{Shards: 2, Capacity: 32, Strategy: MStoreEach})
+	if _, err := st.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	down := st.ShardOf(1)
+	st.Crash(down)
+	if _, _, err := st.Get(1); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("get on down shard: %v", err)
+	}
+	if _, err := st.Put(1, 11); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("put on down shard: %v", err)
+	}
+	if _, err := st.Scan(0, 100, 0); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("scan with down shard: %v", err)
+	}
+	stats, err := st.Recover(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recovered == 0 && st.ShardOf(1) == down {
+		t.Fatal("acknowledged record lost by recovery")
+	}
+	if v, ok, err := st.Get(1); err != nil || !ok || v != 10 {
+		t.Fatalf("get after recovery = (%d, %v, %v)", v, ok, err)
+	}
+	if stats.SimNS <= 0 {
+		t.Fatal("recovery consumed no simulated time")
+	}
+}
+
+func TestGroupCommitAcksAtBatchBoundary(t *testing.T) {
+	st := openTest(t, Config{Shards: 1, Capacity: 64, Strategy: GroupCommit, Batch: 4})
+	for i := 0; i < 3; i++ {
+		ack, err := st.Put(core.Val(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.Durable {
+			t.Fatalf("write %d acked before batch boundary", i)
+		}
+	}
+	ack, err := st.Put(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Durable {
+		t.Fatal("fourth write should close the batch")
+	}
+	if got := st.AckedCount(0); got != 4 {
+		t.Fatalf("acked = %d, want 4", got)
+	}
+	m := st.Metrics()
+	if m.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", m.Commits)
+	}
+}
+
+func TestGroupCommitAmortizesGPF(t *testing.T) {
+	run := func(strat Strategy) float64 {
+		st := openTest(t, Config{Shards: 1, Capacity: 256, Strategy: strat, Batch: 16, Seed: 5})
+		for k := core.Val(0); k < 128; k++ {
+			if _, err := st.Put(k, k+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return st.Metrics().MaxBusyNS()
+	}
+	gpf := run(GPFEach)
+	group := run(GroupCommit)
+	if group >= gpf {
+		t.Fatalf("group commit (%.0f sim-ns) not faster than per-op GPF (%.0f sim-ns)", group, gpf)
+	}
+}
+
+func TestColocatedWorkers(t *testing.T) {
+	remote := openTest(t, Config{Shards: 1, Capacity: 128, Strategy: StoreFlush, Seed: 3})
+	local := openTest(t, Config{Shards: 1, Capacity: 128, Strategy: StoreFlush, Seed: 3, Colocate: true})
+	for _, st := range []*Store{remote, local} {
+		for k := core.Val(0); k < 64; k++ {
+			if _, err := st.Put(k, k+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if local.Metrics().MaxBusyNS() >= remote.Metrics().MaxBusyNS() {
+		t.Fatalf("colocated StoreFlush (%.0f) should beat remote (%.0f): owner-local LFlush is cheaper",
+			local.Metrics().MaxBusyNS(), remote.Metrics().MaxBusyNS())
+	}
+}

@@ -1,0 +1,230 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cxl0/internal/core"
+)
+
+// Property-based crash-recovery testing, mirroring internal/ds's
+// property_test idiom: random operation streams with eviction churn and
+// injected shard crashes, checked against a pure-Go reference model.
+//
+// The durability property: after Crash+Recover of a shard, the recovered
+// state must equal the replay of a prefix of that shard's operation log
+// that contains every acknowledged write — no acknowledged write is ever
+// lost, under every persistence strategy and every hardware variant.
+
+// modelOp is one reference-model log entry (val 0 = tombstone).
+type modelOp struct{ key, val core.Val }
+
+// replay folds a shard's model log into its expected visible contents.
+func replay(log []modelOp) map[core.Val]core.Val {
+	m := map[core.Val]core.Val{}
+	for _, op := range log {
+		if op.val == 0 {
+			delete(m, op.key)
+		} else {
+			m[op.key] = op.val
+		}
+	}
+	return m
+}
+
+// checkShard compares shard i's visible contents with the model.
+func checkShard(t *testing.T, st *Store, i int, want map[core.Val]core.Val, maxKey core.Val) bool {
+	t.Helper()
+	for k := core.Val(0); k <= maxKey; k++ {
+		if st.ShardOf(k) != i {
+			continue
+		}
+		v, ok, err := st.Get(k)
+		if err != nil {
+			t.Logf("get(%d): %v", k, err)
+			return false
+		}
+		wv, wok := want[k]
+		if ok != wok || (ok && v != wv) {
+			t.Logf("get(%d) = (%d,%v), model (%d,%v)", k, v, ok, wv, wok)
+			return false
+		}
+	}
+	return true
+}
+
+func testCrashRecovery(t *testing.T, strat Strategy, variant core.Variant) {
+	const maxKey = 12
+	f := func(seed int64, opsRaw []byte) bool {
+		st, err := Open(Config{
+			Shards:     2,
+			Capacity:   256,
+			Strategy:   strat,
+			Batch:      3,
+			Variant:    variant,
+			EvictEvery: 2,
+			Seed:       seed,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		logs := make([][]modelOp, st.NumShards())
+		rng := rand.New(rand.NewSource(seed))
+		for i, b := range opsRaw {
+			if i > 70 {
+				break
+			}
+			k := core.Val(int(b) % (maxKey + 1))
+			shard := st.ShardOf(k)
+			switch (b / 16) % 5 {
+			case 0, 1:
+				v := core.Val(1 + int(b)%90 + i)
+				if _, err := st.Put(k, v); err != nil {
+					t.Logf("op %d put(%d): %v", i, k, err)
+					return false
+				}
+				logs[shard] = append(logs[shard], modelOp{k, v})
+			case 2:
+				if _, err := st.Delete(k); err != nil {
+					t.Logf("op %d delete(%d): %v", i, k, err)
+					return false
+				}
+				logs[shard] = append(logs[shard], modelOp{k, 0})
+			case 3:
+				// Visible state must always match the full model log.
+				want := replay(logs[shard])
+				wv, wok := want[k]
+				v, ok, err := st.Get(k)
+				if err != nil {
+					t.Logf("op %d get(%d): %v", i, k, err)
+					return false
+				}
+				if ok != wok || (ok && v != wv) {
+					t.Logf("op %d: get(%d) = (%d,%v), model (%d,%v)", i, k, v, ok, wv, wok)
+					return false
+				}
+			default:
+				target := rng.Intn(st.NumShards())
+				if rng.Intn(3) == 0 {
+					st.Cluster().Churn(4)
+					continue
+				}
+				ackedBefore := st.AckedCount(target)
+				st.Crash(target)
+				stats, err := st.Recover(target)
+				if err != nil {
+					t.Logf("op %d recover(%d): %v", i, target, err)
+					return false
+				}
+				if stats.Recovered < ackedBefore {
+					t.Logf("op %d: shard %d recovered only %d records, %d were acknowledged",
+						i, target, stats.Recovered, ackedBefore)
+					return false
+				}
+				if stats.Recovered > len(logs[target]) {
+					t.Logf("op %d: shard %d recovered %d records, only %d ever appended",
+						i, target, stats.Recovered, len(logs[target]))
+					return false
+				}
+				// The store truncated its log to the durable (or still
+				// visible) prefix; the model follows.
+				logs[target] = logs[target][:stats.Recovered]
+				if !checkShard(t, st, target, replay(logs[target]), maxKey) {
+					t.Logf("op %d: shard %d state diverged after recovery (cut %d)",
+						i, target, stats.Recovered)
+					return false
+				}
+			}
+		}
+		// Final: sync, then every shard must match its full model log.
+		if err := st.Sync(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := range logs {
+			if st.AckedCount(i) != len(logs[i]) {
+				t.Logf("shard %d: %d acked after Sync, %d appended", i, st.AckedCount(i), len(logs[i]))
+				return false
+			}
+			if !checkShard(t, st, i, replay(logs[i]), maxKey) {
+				t.Logf("shard %d final state diverged", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(int64(strat)*31 + int64(variant)))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryProperty(t *testing.T) {
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		for _, strat := range Strategies {
+			t.Run(fmt.Sprintf("%v/%v", variant, strat), func(t *testing.T) {
+				testCrashRecovery(t, strat, variant)
+			})
+		}
+	}
+}
+
+// TestRecoveryAfterDoubleCrash exercises the log-truncation path: a crash
+// with unacknowledged pending writes, recovery, more writes reusing the
+// truncated slots, and a second crash — stale records from the first
+// incarnation must never resurrect.
+func TestRecoveryAfterDoubleCrash(t *testing.T) {
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		t.Run(variant.String(), func(t *testing.T) {
+			st, err := Open(Config{
+				Shards: 1, Capacity: 64, Strategy: GroupCommit, Batch: 8,
+				Variant: variant, EvictEvery: 2, Seed: 9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Acked batch, then unacked pending writes.
+			for k := core.Val(0); k < 8; k++ {
+				if _, err := st.Put(k, 100+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := core.Val(20); k < 23; k++ {
+				if _, err := st.Put(k, 200+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.Crash(0)
+			stats, err := st.Recover(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Recovered < 8 {
+				t.Fatalf("recovered %d, the 8 acknowledged writes must survive", stats.Recovered)
+			}
+			// Overwrite the reclaimed slots with different records.
+			for k := core.Val(40); k < 43; k++ {
+				if _, err := st.Put(k, 300+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.Crash(0)
+			if _, err := st.Recover(0); err != nil {
+				t.Fatal(err)
+			}
+			for k := core.Val(0); k < 8; k++ {
+				v, ok, err := st.Get(k)
+				if err != nil || !ok || v != 100+k {
+					t.Fatalf("acked key %d = (%d,%v,%v) after double crash", k, v, ok, err)
+				}
+			}
+			for k := core.Val(20); k < 23; k++ {
+				if v, ok, _ := st.Get(k); ok && v != 200+k {
+					t.Fatalf("key %d resurrected with corrupt value %d", k, v)
+				}
+			}
+		})
+	}
+}

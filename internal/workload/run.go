@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+)
+
+// Options configures one benchmark run: a workload spec driving one store
+// configuration, with an optional crash-churn schedule.
+type Options struct {
+	// Spec is the workload mix.
+	Spec Spec
+	// Store is the store configuration. If Store.Capacity is zero the
+	// runner sizes each shard's log to fit the worst case (preload plus
+	// every operation being a write).
+	Store kv.Config
+	// Ops is the number of measured operations (after preload).
+	Ops int
+	// CrashEvery injects one crash+recover cycle (rotating over shards)
+	// every CrashEvery measured operations; 0 disables crash churn.
+	CrashEvery int
+	// Seed drives the operation stream.
+	Seed int64
+}
+
+// Result is one run's machine-readable outcome. Simulated times come from
+// the cluster's latency-model clock, not the host's.
+type Result struct {
+	Workload string `json:"workload"`
+	Strategy string `json:"strategy"`
+	Shards   int    `json:"shards"`
+	Variant  string `json:"variant"`
+	Batch    int    `json:"batch,omitempty"`
+	Colocate bool   `json:"colocate,omitempty"`
+	Seed     int64  `json:"seed"`
+
+	Ops     int `json:"ops"`
+	Reads   int `json:"reads"`
+	Updates int `json:"updates"`
+	Inserts int `json:"inserts"`
+	Scans   int `json:"scans"`
+
+	// SimNS is the service makespan: the busiest shard's simulated time
+	// (shards run on distinct machines in parallel; global flushes are
+	// charged to every shard).
+	SimNS float64 `json:"sim_ns"`
+	// TotalCostNS is the summed simulated cost across shards — what a
+	// single unsharded machine would have paid.
+	TotalCostNS float64 `json:"total_cost_ns"`
+	// ThroughputOpsPerSec is Ops divided by the simulated makespan.
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+
+	// Latency percentiles over per-operation ack latencies, in simulated
+	// nanoseconds (writes: submit to durable-ack; reads/scans: call
+	// duration).
+	P50NS float64 `json:"p50_ns"`
+	P95NS float64 `json:"p95_ns"`
+	P99NS float64 `json:"p99_ns"`
+	MaxNS float64 `json:"max_ns"`
+
+	// Crash churn.
+	Recoveries     int     `json:"recoveries"`
+	RecoveryMeanNS float64 `json:"recovery_mean_ns,omitempty"`
+	RecoveryMaxNS  float64 `json:"recovery_max_ns,omitempty"`
+	RecordsLost    int     `json:"records_lost,omitempty"`
+	DroppedPending int     `json:"dropped_pending,omitempty"`
+
+	// Commits is the number of group-commit batches (GroupCommit only).
+	Commits uint64 `json:"commits,omitempty"`
+}
+
+// Run executes one workload against one store configuration.
+func Run(o Options) (Result, error) {
+	if err := o.Spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if o.Ops <= 0 {
+		o.Ops = 1000
+	}
+	cfg := o.Store
+	if cfg.Seed == 0 {
+		cfg.Seed = o.Seed + 1
+	}
+	if cfg.Capacity <= 0 {
+		// Worst case: every measured op appends one record, all to one
+		// shard, on top of the preload; recovery truncation reuses slots,
+		// so this bound holds across crash churn too.
+		cfg.Capacity = o.Spec.Keys + o.Ops + 8
+	}
+	st, err := kv.Open(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Preload the keyspace, then exclude it from measurement.
+	for k := 0; k < o.Spec.Keys; k++ {
+		if _, err := st.Put(core.Val(k), core.Val(1+k)); err != nil {
+			return Result{}, fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		return Result{}, err
+	}
+	st.ResetMetrics()
+
+	gen := NewGenerator(o.Spec, o.Seed)
+	res := Result{
+		Workload: o.Spec.Name,
+		Strategy: cfg.Strategy.String(),
+		Shards:   st.NumShards(),
+		Variant:  cfg.Variant.String(),
+		Colocate: cfg.Colocate,
+		Seed:     o.Seed,
+		Ops:      o.Ops,
+	}
+	if cfg.Strategy == kv.GroupCommit {
+		res.Batch = cfg.Batch
+		if res.Batch <= 0 {
+			res.Batch = kv.DefaultBatch
+		}
+	}
+
+	var readLat []float64
+	crashShard := 0
+	recoveryLost := 0
+	for i := 0; i < o.Ops; i++ {
+		if o.CrashEvery > 0 && i > 0 && i%o.CrashEvery == 0 {
+			shard := crashShard % st.NumShards()
+			crashShard++
+			st.Crash(shard)
+			stats, err := st.Recover(shard)
+			if err != nil {
+				return Result{}, fmt.Errorf("recover shard %d: %w", shard, err)
+			}
+			recoveryLost += stats.Lost
+		}
+		op := gen.Next()
+		cl := st.Cluster()
+		switch op.Kind {
+		case OpRead:
+			res.Reads++
+			start := cl.NowNS()
+			if _, _, err := st.Get(core.Val(op.Key)); err != nil {
+				return Result{}, fmt.Errorf("op %d read: %w", i, err)
+			}
+			readLat = append(readLat, cl.NowNS()-start)
+		case OpUpdate:
+			res.Updates++
+			if _, err := st.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
+				return Result{}, fmt.Errorf("op %d update: %w", i, err)
+			}
+		case OpInsert:
+			res.Inserts++
+			if _, err := st.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
+				return Result{}, fmt.Errorf("op %d insert: %w", i, err)
+			}
+		case OpScan:
+			res.Scans++
+			start := cl.NowNS()
+			if _, err := st.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen); err != nil {
+				return Result{}, fmt.Errorf("op %d scan: %w", i, err)
+			}
+			readLat = append(readLat, cl.NowNS()-start)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		return Result{}, err
+	}
+
+	m := st.Metrics()
+	res.SimNS = m.MaxBusyNS()
+	res.TotalCostNS = m.TotalBusyNS()
+	if res.SimNS > 0 {
+		res.ThroughputOpsPerSec = float64(o.Ops) / (res.SimNS * 1e-9)
+	}
+	lat := append(readLat, m.WriteLatencies...)
+	sort.Float64s(lat)
+	res.P50NS = percentile(lat, 50)
+	res.P95NS = percentile(lat, 95)
+	res.P99NS = percentile(lat, 99)
+	res.MaxNS = percentile(lat, 100)
+	res.Recoveries = int(m.Recoveries)
+	res.RecordsLost = recoveryLost
+	res.DroppedPending = int(m.DroppedPending)
+	res.Commits = m.Commits
+	for _, r := range m.RecoveryNS {
+		res.RecoveryMeanNS += r
+		if r > res.RecoveryMaxNS {
+			res.RecoveryMaxNS = r
+		}
+	}
+	if len(m.RecoveryNS) > 0 {
+		res.RecoveryMeanNS /= float64(len(m.RecoveryNS))
+	}
+	return res, nil
+}
+
+// percentile returns the p-th percentile of the already sorted slice xs
+// (nearest-rank; p=100 is the maximum). Returns 0 for an empty slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"cxl0/internal/kv"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		spec, err := YCSB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("workload %s: %v", name, err)
+		}
+	}
+	if _, err := YCSB("Z"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 100
+	a, b := NewGenerator(spec, 42), NewGenerator(spec, 42)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("op %d diverged between equal seeds", i)
+		}
+	}
+	c := NewGenerator(spec, 43)
+	same := true
+	for i := 0; i < 50; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorMixAndBounds(t *testing.T) {
+	spec, _ := YCSB("E")
+	spec.Keys = 50
+	g := NewGenerator(spec, 7)
+	scans, inserts := 0, 0
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpScan:
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > spec.MaxScanLen {
+				t.Fatalf("scan length %d out of [1,%d]", op.ScanLen, spec.MaxScanLen)
+			}
+		case OpInsert:
+			inserts++
+			if op.Value < 1 {
+				t.Fatalf("insert value %d < 1", op.Value)
+			}
+		default:
+			t.Fatalf("workload E generated %v", op.Kind)
+		}
+		if op.Key < 0 {
+			t.Fatalf("negative key %d", op.Key)
+		}
+	}
+	if scans < 900 || inserts < 10 {
+		t.Fatalf("mix off: %d scans, %d inserts in 1000 ops", scans, inserts)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	spec, _ := YCSB("B")
+	spec.Keys = 1000
+	g := NewGenerator(spec, 3)
+	hot := 0
+	for i := 0; i < 2000; i++ {
+		if op := g.Next(); op.Key < 10 {
+			hot++
+		}
+	}
+	if hot < 600 {
+		t.Fatalf("zipfian: only %d/2000 ops hit the 10 hottest keys", hot)
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 60
+	res, err := Run(Options{
+		Spec:       spec,
+		Store:      kv.Config{Shards: 2, Strategy: kv.GroupCommit, Batch: 8, EvictEvery: 4},
+		Ops:        300,
+		CrashEvery: 120,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads+res.Updates+res.Inserts+res.Scans != 300 {
+		t.Fatalf("op counts sum to %d, want 300", res.Reads+res.Updates+res.Inserts+res.Scans)
+	}
+	if res.SimNS <= 0 || res.ThroughputOpsPerSec <= 0 {
+		t.Fatalf("no simulated time recorded: %+v", res)
+	}
+	if res.P50NS <= 0 || res.P99NS < res.P50NS || res.MaxNS < res.P99NS {
+		t.Fatalf("percentiles inconsistent: p50=%.0f p99=%.0f max=%.0f", res.P50NS, res.P99NS, res.MaxNS)
+	}
+	if res.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2 (ops 120 and 240)", res.Recoveries)
+	}
+	if res.RecoveryMeanNS <= 0 {
+		t.Fatal("no recovery time recorded")
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	spec, _ := YCSB("B")
+	spec.Keys = 40
+	opts := Options{
+		Spec:  spec,
+		Store: kv.Config{Shards: 2, Strategy: kv.StoreFlush, EvictEvery: 3},
+		Ops:   200,
+		Seed:  5,
+	}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same options, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestGroupCommitBeatsPerOpGPF(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 60
+	run := func(s kv.Strategy) Result {
+		res, err := Run(Options{
+			Spec:  spec,
+			Store: kv.Config{Shards: 2, Strategy: s, Batch: 16},
+			Ops:   400,
+			Seed:  2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gpf := run(kv.GPFEach)
+	group := run(kv.GroupCommit)
+	if group.ThroughputOpsPerSec <= gpf.ThroughputOpsPerSec {
+		t.Fatalf("group commit %.0f ops/s not above per-op GPF %.0f ops/s",
+			group.ThroughputOpsPerSec, gpf.ThroughputOpsPerSec)
+	}
+}
+
+func TestShardingScalesWriteThroughput(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 80
+	run := func(shards int) Result {
+		res, err := Run(Options{
+			Spec:  spec,
+			Store: kv.Config{Shards: shards, Strategy: kv.MStoreEach},
+			Ops:   400,
+			Seed:  4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if four.ThroughputOpsPerSec <= one.ThroughputOpsPerSec {
+		t.Fatalf("4 shards %.0f ops/s not above 1 shard %.0f ops/s",
+			four.ThroughputOpsPerSec, one.ThroughputOpsPerSec)
+	}
+}
