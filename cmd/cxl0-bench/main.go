@@ -44,25 +44,37 @@ type benchConfig struct {
 	Variants   []string `json:"variants"`
 }
 
-// headline summarizes the batching claim: group commit amortizes the GPF
-// against the per-op-GPF baseline.
+// headline summarizes the two batching claims: group commit amortizes the
+// GPF against the per-op-GPF baseline, and ranged commit keeps per-op
+// commit cost flat in shard count where group commit's fabric-wide GPF
+// charge grows linearly.
 type headline struct {
 	GroupVsGPFSpeedup float64 `json:"group_vs_gpf_speedup"`
 	GroupConfig       string  `json:"group_config"`
-	BestThroughput    float64 `json:"best_throughput_ops_per_sec"`
-	BestConfig        string  `json:"best_config"`
+	// RangedVsGroupSpeedup compares RangedCommit against GroupCommit at
+	// the largest shard count in the matrix, where GPF stalls hurt most.
+	RangedVsGroupSpeedup float64 `json:"ranged_vs_group_speedup,omitempty"`
+	RangedConfig         string  `json:"ranged_config,omitempty"`
+	// *PerOpCostGrowth is the mean per-op simulated cost at the largest
+	// shard count divided by the same at the smallest, averaged over
+	// workload/variant combos: ~1.0 means commit cost is shard-local,
+	// while fabric-wide charging grows linearly with the shard count.
+	GroupPerOpCostGrowth  float64 `json:"group_per_op_cost_growth,omitempty"`
+	RangedPerOpCostGrowth float64 `json:"ranged_per_op_cost_growth,omitempty"`
+	BestThroughput        float64 `json:"best_throughput_ops_per_sec"`
+	BestConfig            string  `json:"best_config"`
 }
 
 func main() {
 	ops := flag.Int("ops", 2000, "measured operations per configuration")
 	keys := flag.Int("keys", 400, "preloaded keyspace size")
-	batch := flag.Int("batch", 32, "group-commit batch size")
+	batch := flag.Int("batch", 16, "batched-commit batch size")
 	crashEvery := flag.Int("crash-every", 700, "ops between crash+recover cycles (0 disables)")
 	evictEvery := flag.Int("evict-every", 8, "background cache-eviction period (0 disables)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workloadsF := flag.String("workloads", "A,E", "comma-separated YCSB workloads (A,B,C,D,E)")
-	strategiesF := flag.String("strategies", "mstore,flush,gpf,group", "comma-separated persistence strategies")
-	shardsF := flag.String("shards", "1,4", "comma-separated shard counts")
+	strategiesF := flag.String("strategies", "mstore,flush,gpf,group,ranged", "comma-separated persistence strategies")
+	shardsF := flag.String("shards", "1,4,12", "comma-separated shard counts")
 	variantsF := flag.String("variants", "base,psn", "comma-separated hardware variants (base,psn,lwb)")
 	colocate := flag.Bool("colocate", false, "bind shard workers to the shard's machine")
 	out := flag.String("out", "BENCH_kv.json", "output JSON path (empty disables)")
@@ -113,8 +125,6 @@ func main() {
 		"wl", "strategy", "shards", "variant", "ops/sec(sim)", "p50 ns", "p95 ns", "p99 ns", "recovery ns")
 
 	var results []workload.Result
-	perOpGPF := map[string]float64{}  // workload/shards/variant -> gpf throughput
-	groupRes := map[string]*workload.Result{}
 	for _, spec := range specs {
 		for _, variant := range variants {
 			for _, nShards := range shardCounts {
@@ -137,14 +147,6 @@ func main() {
 						fatal(fmt.Errorf("%s/%v/%d/%v: %w", spec.Name, strat, nShards, variant, err))
 					}
 					results = append(results, res)
-					key := fmt.Sprintf("%s/%d/%s", res.Workload, res.Shards, res.Variant)
-					if strat == kv.GPFEach {
-						perOpGPF[key] = res.ThroughputOpsPerSec
-					}
-					if strat == kv.GroupCommit {
-						r := res
-						groupRes[key] = &r
-					}
 					fmt.Printf("%-4s %-8s %7d %-9s %14.0f %12.0f %10.0f %10.0f %12.0f\n",
 						res.Workload, res.Strategy, res.Shards, res.Variant,
 						res.ThroughputOpsPerSec, res.P50NS, res.P95NS, res.P99NS, res.RecoveryMeanNS)
@@ -153,25 +155,19 @@ func main() {
 		}
 	}
 
-	var head headline
-	for key, g := range groupRes {
-		if base, ok := perOpGPF[key]; ok && base > 0 {
-			if sp := g.ThroughputOpsPerSec / base; sp > head.GroupVsGPFSpeedup {
-				head.GroupVsGPFSpeedup = sp
-				head.GroupConfig = key
-			}
-		}
-	}
-	for _, r := range results {
-		if r.ThroughputOpsPerSec > head.BestThroughput {
-			head.BestThroughput = r.ThroughputOpsPerSec
-			head.BestConfig = fmt.Sprintf("%s/%s/%d/%s", r.Workload, r.Strategy, r.Shards, r.Variant)
-		}
-	}
+	head := summarize(results, shardCounts)
 	fmt.Println()
 	if head.GroupConfig != "" {
 		fmt.Printf("headline: group commit is %.1fx per-op GPF throughput (%s)\n",
 			head.GroupVsGPFSpeedup, head.GroupConfig)
+	}
+	if head.RangedConfig != "" {
+		fmt.Printf("headline: ranged commit is %.1fx group commit throughput at the largest shard count (%s)\n",
+			head.RangedVsGroupSpeedup, head.RangedConfig)
+	}
+	if head.GroupPerOpCostGrowth > 0 && head.RangedPerOpCostGrowth > 0 {
+		fmt.Printf("commit locality: per-op cost growth min->max shards: group %.2fx (fabric-wide GPF), ranged %.2fx (shard-local)\n",
+			head.GroupPerOpCostGrowth, head.RangedPerOpCostGrowth)
 	}
 	if head.BestConfig != "" {
 		fmt.Printf("best throughput: %.0f sim ops/sec (%s)\n", head.BestThroughput, head.BestConfig)
@@ -199,6 +195,88 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d results)\n", *out, len(results))
 	}
+}
+
+// summarize derives the headline claims from the full result matrix.
+func summarize(results []workload.Result, shardCounts []int) headline {
+	var head headline
+	minShards, maxShards := shardCounts[0], shardCounts[0]
+	for _, s := range shardCounts {
+		if s < minShards {
+			minShards = s
+		}
+		if s > maxShards {
+			maxShards = s
+		}
+	}
+	// strategy/workload/shards/variant -> result
+	byKey := map[string]workload.Result{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)] = r
+		if r.ThroughputOpsPerSec > head.BestThroughput {
+			head.BestThroughput = r.ThroughputOpsPerSec
+			head.BestConfig = fmt.Sprintf("%s/%s/%d/%s", r.Workload, r.Strategy, r.Shards, r.Variant)
+		}
+	}
+	// perOp is the mean simulated service cost per operation, with crash-
+	// recovery time excluded: recovery scans shrink with the per-shard log
+	// under every strategy, and leaving them in would mask the commit-cost
+	// scaling this metric is meant to expose. The exclusion covers the
+	// recovering shard's elapsed span only; if a GroupCommit recovery ever
+	// re-persists surviving pending records, its GPF's cross-charge to the
+	// other shards stays in (a small upward bias on group's growth —
+	// fabric-wide recovery is part of what the metric indicts).
+	perOp := func(r workload.Result) float64 {
+		if r.Ops == 0 {
+			return 0
+		}
+		cost := r.TotalCostNS - r.RecoveryMeanNS*float64(r.Recoveries)
+		return cost / float64(r.Ops)
+	}
+	growthSum := map[string]float64{}
+	growthN := map[string]int{}
+	for _, r := range results {
+		key := fmt.Sprintf("%s/%d/%s", r.Workload, r.Shards, r.Variant)
+		switch r.Strategy {
+		case kv.GroupCommit.String():
+			// Group commit's amortization claim, against per-op GPF.
+			if base, ok := byKey[fmt.Sprintf("%s/%s", kv.GPFEach, key)]; ok && base.ThroughputOpsPerSec > 0 {
+				if sp := r.ThroughputOpsPerSec / base.ThroughputOpsPerSec; sp > head.GroupVsGPFSpeedup {
+					head.GroupVsGPFSpeedup = sp
+					head.GroupConfig = key
+				}
+			}
+		case kv.RangedCommit.String():
+			// Ranged commit's locality claim, against group commit at the
+			// largest shard count.
+			if r.Shards != maxShards {
+				break
+			}
+			if base, ok := byKey[fmt.Sprintf("%s/%s", kv.GroupCommit, key)]; ok && base.ThroughputOpsPerSec > 0 {
+				if sp := r.ThroughputOpsPerSec / base.ThroughputOpsPerSec; sp > head.RangedVsGroupSpeedup {
+					head.RangedVsGroupSpeedup = sp
+					head.RangedConfig = key
+				}
+			}
+		}
+		// Per-op cost growth from the smallest to the largest shard count,
+		// averaged over workload/variant combos.
+		if maxShards > minShards && r.Shards == maxShards &&
+			(r.Strategy == kv.GroupCommit.String() || r.Strategy == kv.RangedCommit.String()) {
+			small, ok := byKey[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, minShards, r.Variant)]
+			if ok && perOp(small) > 0 {
+				growthSum[r.Strategy] += perOp(r) / perOp(small)
+				growthN[r.Strategy]++
+			}
+		}
+	}
+	if n := growthN[kv.GroupCommit.String()]; n > 0 {
+		head.GroupPerOpCostGrowth = growthSum[kv.GroupCommit.String()] / float64(n)
+	}
+	if n := growthN[kv.RangedCommit.String()]; n > 0 {
+		head.RangedPerOpCostGrowth = growthSum[kv.RangedCommit.String()] / float64(n)
+	}
+	return head
 }
 
 func fatal(err error) {

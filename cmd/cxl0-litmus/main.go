@@ -127,7 +127,7 @@ func printSetups() {
 	fmt.Println("----------------------------------------------------------")
 	fmt.Printf("  %-10s", "")
 	for _, op := range core.AllOps {
-		fmt.Printf("%-8s", op)
+		fmt.Printf("%-13s", op)
 	}
 	fmt.Println()
 	for _, s := range core.Setups {
@@ -143,7 +143,7 @@ func printSetups() {
 				if s.Available(role, op) {
 					mark = "yes"
 				}
-				fmt.Printf("%-8s", mark)
+				fmt.Printf("%-13s", mark)
 			}
 			fmt.Println()
 		}

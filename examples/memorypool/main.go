@@ -92,6 +92,6 @@ func main() {
 	// The availability matrix for this configuration (paper §4).
 	fmt.Println("\nprimitive availability in the partitioned-pool configuration:")
 	for _, op := range core.AllOps {
-		fmt.Printf("  %-7s %v\n", op, core.PartitionedPool.Available(core.RoleHost, op))
+		fmt.Printf("  %-12s %v\n", op, core.PartitionedPool.Available(core.RoleHost, op))
 	}
 }

@@ -127,4 +127,7 @@ func (s Setup) Available(role NodeRole, op Op) bool {
 }
 
 // AllOps lists every issuable CXL0 primitive (excluding crash).
-var AllOps = []Op{OpLoad, OpLStore, OpRStore, OpMStore, OpLFlush, OpRFlush, OpGPF, OpLRMW, OpRRMW, OpMRMW}
+// OpRFlushRange targets owners' persistence domains exactly like OpRFlush,
+// so Available treats the two identically: present wherever RFlush is,
+// excluded only in the non-coherent shared pool.
+var AllOps = []Op{OpLoad, OpLStore, OpRStore, OpMStore, OpLFlush, OpRFlush, OpRFlushRange, OpGPF, OpLRMW, OpRRMW, OpMRMW}

@@ -19,6 +19,9 @@
 //	MStore_i(x,v)  — store directly into the owner's memory
 //	LFlush_i(x)    — block until the issuer's cache no longer holds x
 //	RFlush_i(x)    — block until no cache holds x
+//	RFlushRange_i(x,n) — ranged persistent flush: block until no cache holds
+//	                 any of the n consecutive locations starting at x (§7's
+//	                 finer-grained flush sketch; RFlushRange(x,1) ≡ RFlush(x))
 //	GPF_i          — global persistent flush: block until all caches drain
 //	L/R/M-RMW      — atomic read-modify-write, store half as above
 //

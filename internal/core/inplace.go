@@ -42,6 +42,8 @@ func ApplyInPlace(s *State, l Label, v Variant) bool {
 		return s.cache[l.M][l.Loc] == Bot
 	case OpRFlush:
 		return s.NoCacheHolds(l.Loc)
+	case OpRFlushRange:
+		return l.N >= 1 && s.NoCacheHoldsRange(l.Loc, l.N)
 	case OpGPF:
 		return s.CachesEmpty()
 	case OpLRMW, OpRRMW, OpMRMW:

@@ -11,7 +11,7 @@ func randomLabel(rng *rand.Rand) Label {
 	m := MachineID(rng.Intn(2))
 	x := LocID(rng.Intn(2))
 	v := Val(rng.Intn(3))
-	switch rng.Intn(9) {
+	switch rng.Intn(10) {
 	case 0:
 		return LoadL(m, x, v)
 	case 1:
@@ -28,6 +28,8 @@ func randomLabel(rng *rand.Rand) Label {
 		return CrashL(m)
 	case 7:
 		return RMWL(OpLRMW, m, x, v, Val(rng.Intn(3)))
+	case 8:
+		return RFlushRangeL(m, x, 1+rng.Intn(2-int(x)))
 	default:
 		return RMWL(OpMRMW, m, x, v, Val(rng.Intn(3)))
 	}

@@ -29,12 +29,20 @@ const (
 	OpMRMW
 	// OpCrash is E_i: machine i crashes.
 	OpCrash
+	// OpRFlushRange is RFlushRange_i(x,n): drain the n consecutive
+	// locations starting at x from every cache into their owners'
+	// memories — a ranged persistent flush (§7's finer-grained flush
+	// sketch). RFlushRange_i(x,1) is exactly RFlush_i(x); unlike GPF, only
+	// the lines in the range (and thus only their owning devices'
+	// persistence domains) are involved.
+	OpRFlushRange
 )
 
 var opNames = [...]string{
 	OpLoad: "Load", OpLStore: "LStore", OpRStore: "RStore", OpMStore: "MStore",
 	OpLFlush: "LFlush", OpRFlush: "RFlush", OpGPF: "GPF",
 	OpLRMW: "L-RMW", OpRRMW: "R-RMW", OpMRMW: "M-RMW", OpCrash: "E",
+	OpRFlushRange: "RFlushRange",
 }
 
 func (o Op) String() string {
@@ -50,12 +58,15 @@ func (o Op) IsStore() bool { return o == OpLStore || o == OpRStore || o == OpMSt
 // IsRMW reports whether o is one of the three RMW primitives.
 func (o Op) IsRMW() bool { return o == OpLRMW || o == OpRRMW || o == OpMRMW }
 
-// IsFlush reports whether o is LFlush, RFlush or GPF.
-func (o Op) IsFlush() bool { return o == OpLFlush || o == OpRFlush || o == OpGPF }
+// IsFlush reports whether o is LFlush, RFlush, RFlushRange or GPF.
+func (o Op) IsFlush() bool {
+	return o == OpLFlush || o == OpRFlush || o == OpRFlushRange || o == OpGPF
+}
 
 // Label is a CXL0 transition label. M is the issuing machine (the crashing
 // machine for OpCrash). Loc and Val are used by loads and stores; Old/New by
-// RMWs. Silent τ steps have no label; see TauSuccessors.
+// RMWs; Loc and N by ranged flushes. Silent τ steps have no label; see
+// TauSuccessors.
 type Label struct {
 	Op  Op
 	M   MachineID
@@ -63,6 +74,7 @@ type Label struct {
 	Val Val // stored value, or the value a Load observes
 	Old Val // RMW: expected old value
 	New Val // RMW: new value
+	N   int // RFlushRange: number of consecutive locations (>= 1)
 }
 
 // Convenience constructors, mirroring the paper's notation.
@@ -85,6 +97,15 @@ func LFlushL(m MachineID, x LocID) Label { return Label{Op: OpLFlush, M: m, Loc:
 // RFlushL is RFlush_m(x).
 func RFlushL(m MachineID, x LocID) Label { return Label{Op: OpRFlush, M: m, Loc: x} }
 
+// RFlushRangeL is RFlushRange_m(x, n), the ranged persistent flush over the
+// n consecutive locations starting at x.
+func RFlushRangeL(m MachineID, x LocID, n int) Label {
+	if n < 1 {
+		panic("core: RFlushRangeL requires n >= 1")
+	}
+	return Label{Op: OpRFlushRange, M: m, Loc: x, N: n}
+}
+
 // GPFL is GPF_m.
 func GPFL(m MachineID) Label { return Label{Op: OpGPF, M: m} }
 
@@ -106,6 +127,8 @@ func (l Label) String() string {
 		return fmt.Sprintf("%s%d(loc%d,%d)", l.Op, l.M, l.Loc, l.Val)
 	case OpLFlush, OpRFlush:
 		return fmt.Sprintf("%s%d(loc%d)", l.Op, l.M, l.Loc)
+	case OpRFlushRange:
+		return fmt.Sprintf("%s%d(loc%d,%d)", l.Op, l.M, l.Loc, l.N)
 	case OpGPF:
 		return fmt.Sprintf("GPF%d", l.M)
 	case OpCrash:
@@ -122,6 +145,8 @@ func (l Label) Pretty(t *Topology) string {
 		return fmt.Sprintf("%s%d(%s,%d)", l.Op, l.M+1, t.LocName(l.Loc), l.Val)
 	case OpLFlush, OpRFlush:
 		return fmt.Sprintf("%s%d(%s)", l.Op, l.M+1, t.LocName(l.Loc))
+	case OpRFlushRange:
+		return fmt.Sprintf("%s%d(%s,%d)", l.Op, l.M+1, t.LocName(l.Loc), l.N)
 	case OpGPF:
 		return fmt.Sprintf("GPF%d", l.M+1)
 	case OpCrash:

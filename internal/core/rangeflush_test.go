@@ -1,0 +1,153 @@
+package core
+
+import "testing"
+
+// rangeTopo builds two machines with two locations each: x,y owned by M1
+// and z,w owned by M2, declared in that order so their LocIDs are
+// consecutive (x=0, y=1, z=2, w=3).
+func rangeTopo() (*Topology, [4]LocID) {
+	topo := NewTopology()
+	m1 := topo.AddMachine("m1", NonVolatile)
+	m2 := topo.AddMachine("m2", NonVolatile)
+	x := topo.AddLoc("x", m1)
+	y := topo.AddLoc("y", m1)
+	z := topo.AddLoc("z", m2)
+	w := topo.AddLoc("w", m2)
+	return topo, [4]LocID{x, y, z, w}
+}
+
+// TestRFlushRangeBlocksUntilRangeDrained: the ranged flush is enabled iff
+// no cache holds any line of the range; lines outside the range do not
+// block it.
+func TestRFlushRangeBlocksUntilRangeDrained(t *testing.T) {
+	for _, v := range Variants {
+		topo, locs := rangeTopo()
+		s := NewState(topo)
+		s.SetCache(0, locs[0], 1) // x dirty in M1's cache
+		s.SetCache(1, locs[1], 2) // y dirty in M2's cache
+		s.SetCache(0, locs[3], 3) // w dirty, outside the [x,y] range
+
+		if got := Apply(s, RFlushRangeL(0, locs[0], 2), v); got != nil {
+			t.Fatalf("%v: RFlushRange enabled with the range still cached", v)
+		}
+		if ok := ApplyInPlace(s.Clone(), RFlushRangeL(0, locs[0], 2), v); ok {
+			t.Fatalf("%v: in-place RFlushRange enabled with the range still cached", v)
+		}
+
+		// Drain x and y (but not w) through τ steps; the ranged flush over
+		// [x,y] must then fire even though w is still dirty.
+		s = ApplyTau(s, TauStep{From: 0, Loc: locs[0], ToMemory: true})
+		s = ApplyTau(s, TauStep{From: 1, Loc: locs[1], ToMemory: false})
+		if got := Apply(s, RFlushRangeL(0, locs[0], 2), v); got != nil {
+			t.Fatalf("%v: RFlushRange enabled with y still in the owner's cache", v)
+		}
+		s = ApplyTau(s, TauStep{From: 0, Loc: locs[1], ToMemory: true})
+		succ := Apply(s, RFlushRangeL(0, locs[0], 2), v)
+		if len(succ) != 1 {
+			t.Fatalf("%v: RFlushRange not enabled after the range drained", v)
+		}
+		if !succ[0].Equal(s) {
+			t.Fatalf("%v: RFlushRange changed the state", v)
+		}
+		if succ[0].Mem(locs[0]) != 1 || succ[0].Mem(locs[1]) != 2 {
+			t.Fatalf("%v: range values not in memory: x=%d y=%d",
+				v, succ[0].Mem(locs[0]), succ[0].Mem(locs[1]))
+		}
+		if succ[0].Cache(0, locs[3]) != 3 {
+			t.Fatalf("%v: RFlushRange touched a line outside the range", v)
+		}
+	}
+}
+
+// TestRFlushRangeOfOneEquivalentToRFlush: RFlushRange(x,1) and RFlush(x)
+// are enabled in exactly the same states.
+func TestRFlushRangeOfOneEquivalentToRFlush(t *testing.T) {
+	topo, locs := rangeTopo()
+	states := []*State{NewState(topo)}
+	dirty := NewState(topo)
+	dirty.SetCache(1, locs[0], 7)
+	states = append(states, dirty)
+	for _, s := range states {
+		for _, v := range Variants {
+			single := Apply(s, RFlushL(0, locs[0]), v)
+			ranged := Apply(s, RFlushRangeL(0, locs[0], 1), v)
+			if (single == nil) != (ranged == nil) {
+				t.Fatalf("%v: RFlush and RFlushRange(·,1) disagree on %v", v, s)
+			}
+		}
+	}
+}
+
+// TestRFlushRangeSpansOwners: one ranged flush may cover lines owned by
+// different machines; it drains each line to its own owner's memory.
+func TestRFlushRangeSpansOwners(t *testing.T) {
+	topo, locs := rangeTopo()
+	s := NewState(topo)
+	s.SetCache(0, locs[1], 4) // y@M1 in its owner's cache
+	s.SetCache(0, locs[2], 5) // z@M2 in a non-owner cache
+
+	if got := Apply(s, RFlushRangeL(1, locs[1], 2), Base); got != nil {
+		t.Fatal("cross-owner RFlushRange enabled while cached")
+	}
+	s = ApplyTau(s, TauStep{From: 0, Loc: locs[1], ToMemory: true})
+	s = ApplyTau(s, TauStep{From: 0, Loc: locs[2], ToMemory: false})
+	s = ApplyTau(s, TauStep{From: 1, Loc: locs[2], ToMemory: true})
+	succ := Apply(s, RFlushRangeL(1, locs[1], 2), Base)
+	if len(succ) != 1 {
+		t.Fatal("cross-owner RFlushRange not enabled after draining")
+	}
+	if succ[0].Mem(locs[1]) != 4 || succ[0].Mem(locs[2]) != 5 {
+		t.Fatalf("cross-owner values not persistent: y=%d z=%d",
+			succ[0].Mem(locs[1]), succ[0].Mem(locs[2]))
+	}
+}
+
+// TestRFlushRangeDegenerate: a non-positive range is never enabled, and the
+// constructor rejects it outright.
+func TestRFlushRangeDegenerate(t *testing.T) {
+	topo, locs := rangeTopo()
+	s := NewState(topo)
+	if got := Apply(s, Label{Op: OpRFlushRange, M: 0, Loc: locs[0], N: 0}, Base); got != nil {
+		t.Fatal("zero-length RFlushRange enabled")
+	}
+	if ApplyInPlace(s.Clone(), Label{Op: OpRFlushRange, M: 0, Loc: locs[0], N: 0}, Base) {
+		t.Fatal("zero-length in-place RFlushRange enabled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RFlushRangeL(m, x, 0) did not panic")
+		}
+	}()
+	RFlushRangeL(0, locs[0], 0)
+}
+
+// TestRFlushRangeLabelRendering covers String/Pretty and the predicates.
+func TestRFlushRangeLabelRendering(t *testing.T) {
+	topo, locs := rangeTopo()
+	l := RFlushRangeL(0, locs[0], 3)
+	if got := l.String(); got != "RFlushRange0(loc0,3)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := l.Pretty(topo); got != "RFlushRange1(x,3)" {
+		t.Errorf("Pretty() = %q", got)
+	}
+	if !OpRFlushRange.IsFlush() || OpRFlushRange.IsStore() || OpRFlushRange.IsRMW() {
+		t.Error("OpRFlushRange predicates wrong")
+	}
+	if OpRFlushRange.String() != "RFlushRange" {
+		t.Errorf("OpRFlushRange.String() = %q", OpRFlushRange)
+	}
+}
+
+// TestRFlushRangeAvailability: the ranged flush targets owners' persistence
+// domains exactly like RFlush, so §4's availability matrix treats the two
+// identically.
+func TestRFlushRangeAvailability(t *testing.T) {
+	for _, setup := range Setups {
+		for _, role := range []NodeRole{RoleHost, RoleDevice} {
+			if setup.Available(role, OpRFlushRange) != setup.Available(role, OpRFlush) {
+				t.Errorf("%v/%v: RFlushRange availability differs from RFlush", setup, role)
+			}
+		}
+	}
+}

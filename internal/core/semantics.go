@@ -75,6 +75,19 @@ func Apply(s *State, l Label, v Variant) []*State {
 			return nil // blocks until τ drains every copy
 		}
 		return []*State{s.Clone()}
+	case OpRFlushRange:
+		// The ranged flush generalizes RFlush to n consecutive locations:
+		// it blocks until every copy of every line in [Loc, Loc+N) has
+		// drained to its owner's memory. Like the per-line flushes, it is
+		// variant-independent: Base, PSN and LWB differ in how copies come
+		// to exist (loads, poisoning), not in how they drain.
+		if l.N < 1 {
+			return nil
+		}
+		if !s.NoCacheHoldsRange(l.Loc, l.N) {
+			return nil // blocks until τ drains every copy of every line
+		}
+		return []*State{s.Clone()}
 	case OpGPF:
 		if !s.CachesEmpty() {
 			return nil // blocks until all caches drain entirely

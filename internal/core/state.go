@@ -88,6 +88,18 @@ func (s *State) NoCacheHolds(l LocID) bool {
 	return true
 }
 
+// NoCacheHoldsRange reports whether no machine caches any of the n
+// consecutive locations starting at l — the enabling condition of a ranged
+// persistent flush.
+func (s *State) NoCacheHoldsRange(l LocID, n int) bool {
+	for i := 0; i < n; i++ {
+		if !s.NoCacheHolds(l + LocID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
 // CachesEmpty reports whether every cache is entirely empty.
 func (s *State) CachesEmpty() bool {
 	for m := range s.cache {

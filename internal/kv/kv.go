@@ -17,26 +17,53 @@
 // acknowledged — is pluggable, mirroring the idioms of internal/ds and §6
 // of the paper:
 //
-//	MStoreEach  — every record word is an MStore: persistent on return,
-//	              paying the full memory round trip per word.
-//	StoreFlush  — LStore the record, then flush word by word (the owner's
-//	              LFlush when the worker is colocated with the shard,
-//	              RFlush otherwise): the paper's LStore+LFlush/RFlush idiom.
-//	RStoreFlush — RStore pushes each word into the owner's cache, then
-//	              RFlush persists it.
-//	GPFEach     — LStore the record, then issue one Global Persistent
-//	              Flush per operation: correct and simple, and the baseline
-//	              the batched strategy amortizes.
-//	GroupCommit — LStore records as they arrive (visible immediately) and
-//	              issue a single GPF per batch of Batch writes: group
-//	              commit. Writes are acknowledged at the commit point, so
-//	              the per-operation GPF cost is divided by the batch size.
+//	MStoreEach   — every record word is an MStore: persistent on return,
+//	               paying the full memory round trip per word.
+//	StoreFlush   — LStore the record, then flush word by word (the owner's
+//	               LFlush when the worker is colocated with the shard,
+//	               RFlush otherwise): the paper's LStore+LFlush/RFlush idiom.
+//	RStoreFlush  — RStore pushes each word into the owner's cache, then
+//	               RFlush persists it.
+//	GPFEach      — LStore the record, then issue one Global Persistent
+//	               Flush per operation: correct and simple, and the baseline
+//	               the batched strategies amortize.
+//	GroupCommit  — LStore records as they arrive (visible immediately) and
+//	               issue a single GPF per batch of Batch writes: group
+//	               commit. The per-operation flush cost is divided by the
+//	               batch size, but a GPF drains the whole fabric, so each
+//	               commit also stalls every other shard.
+//	RangedCommit — group commit over the ranged persistent flush: one
+//	               RFlushRange covering exactly the batch's log lines. The
+//	               commit involves only the shard's own device, so its cost
+//	               is charged shard-locally and per-operation commit cost
+//	               stays flat as shards are added.
 //
-// All five strategies are sound: an acknowledged write survives any crash.
-// Under GroupCommit a write enqueued but not yet committed is visible to
-// readers (like an RStore'd value in litmus test 1) and may be lost by a
-// crash — it is acknowledged, and counted durable, only once its batch's
-// GPF returns.
+// See docs/persistence.md for the full strategy × hardware-variant matrix
+// with per-strategy soundness arguments and recovery procedures.
+//
+// # The durability and acknowledgment contract
+//
+// Every write returns an Ack. The contract, precisely:
+//
+//   - Ack.Durable reports whether the record was persistent — present in
+//     its owner's physical memory — at the moment the call returned.
+//   - Strategy.Durable() reports whether the strategy acknowledges every
+//     write at return. For MStoreEach, StoreFlush, RStoreFlush and GPFEach
+//     it returns true, and Ack.Durable is true on every successful write.
+//   - For the deferred strategies (GroupCommit, RangedCommit),
+//     Strategy.Durable() returns false: a write is acknowledged durable
+//     only at its batch's commit point, which is reached when the Batch-th
+//     write of the batch arrives (that write returns Ack.Durable == true,
+//     covering the whole batch) or when Sync is called. Before that the
+//     write returned Ack.Durable == false: it is visible to Get/Scan (like
+//     an unflushed RStore'd value in litmus test 1) but a shard crash may
+//     legitimately destroy it.
+//
+// The invariant all six strategies maintain: a write acknowledged durable
+// — via Ack.Durable, a later commit, or Sync — survives every subsequent
+// crash/recovery sequence. Unacknowledged writes may be dropped by
+// recovery (reported as DroppedPending), never corrupted into a different
+// value.
 //
 // # Crash recovery
 //
@@ -45,14 +72,18 @@
 // leftovers of a crash. Recover scans the log in slot order until the first
 // invalid record, truncates everything after the cut (zeroing checksum
 // words with MStore, exactly like a log truncation), rebuilds the index
-// from the scanned records, and issues one GPF so the recovered prefix is
-// durable again. The simulated time spent recovering is the recovery-time
-// metric reported by RecoveryStats.
+// from the scanned records, and re-persists the recovered prefix so it also
+// survives the next crash: one GPF under the GPF-based strategies, or —
+// under RangedCommit — one RFlushRange over the shard's own recovered log
+// lines, keeping even recovery cost off the rest of the fabric. The
+// simulated time spent recovering is the recovery-time metric reported by
+// RecoveryStats.
 package kv
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"cxl0/internal/core"
 	"cxl0/internal/latency"
@@ -87,9 +118,14 @@ const (
 	GPFEach
 	// GroupCommit batches writes and issues one GPF per Batch records.
 	GroupCommit
+	// RangedCommit batches writes like GroupCommit but commits each batch
+	// with one ranged persistent flush (RFlushRange) over exactly the
+	// batch's log lines. Only the shard's own device participates, so the
+	// commit cost is charged shard-locally instead of stalling the fabric.
+	RangedCommit
 )
 
-var strategyNames = [...]string{"mstore", "flush", "rstore", "gpf", "group"}
+var strategyNames = [...]string{"mstore", "flush", "rstore", "gpf", "group", "ranged"}
 
 func (s Strategy) String() string {
 	if s >= 0 && int(s) < len(strategyNames) {
@@ -99,26 +135,32 @@ func (s Strategy) String() string {
 }
 
 // Strategies lists all persistence strategies.
-var Strategies = []Strategy{MStoreEach, StoreFlush, RStoreFlush, GPFEach, GroupCommit}
+var Strategies = []Strategy{MStoreEach, StoreFlush, RStoreFlush, GPFEach, GroupCommit, RangedCommit}
 
-// ParseStrategy converts a strategy name (as printed by String) back into a
-// Strategy.
+// ParseStrategy converts a strategy name (as printed by String, matched
+// case-insensitively) back into a Strategy.
 func ParseStrategy(name string) (Strategy, error) {
+	normalized := strings.ToLower(strings.TrimSpace(name))
 	for i, n := range strategyNames {
-		if n == name {
+		if n == normalized {
 			return Strategy(i), nil
 		}
 	}
 	return 0, fmt.Errorf("kv: unknown strategy %q (want one of %v)", name, Strategies)
 }
 
-// Durable reports whether a write is persistent when the operation
-// returns. GroupCommit defers durability (and acknowledgment) to the
-// batch's commit point.
-func (s Strategy) Durable() bool { return s != GroupCommit }
+// Durable reports whether a write is persistent — and therefore
+// acknowledged — when the operation returns: exactly the non-batched
+// strategies. The batched ones defer durability and acknowledgment to the
+// batch's commit point; see the package documentation for the precise
+// contract.
+func (s Strategy) Durable() bool { return !s.Batched() }
 
-// DefaultBatch is the GroupCommit batch size used when Config.Batch is
-// zero.
+// Batched reports whether s enqueues writes and commits them per batch.
+func (s Strategy) Batched() bool { return s == GroupCommit || s == RangedCommit }
+
+// DefaultBatch is the batch size the batched strategies (GroupCommit,
+// RangedCommit) use when Config.Batch is zero.
 const DefaultBatch = 32
 
 // Config describes a Store.
@@ -129,7 +171,8 @@ type Config struct {
 	Capacity int
 	// Strategy selects the persistence strategy.
 	Strategy Strategy
-	// Batch is the GroupCommit batch size (default 32; ignored otherwise).
+	// Batch is the commit batch size of the batched strategies
+	// (default 32; ignored by the per-operation strategies).
 	Batch int
 	// Variant selects the hardware model flavour (Base, PSN, LWB).
 	Variant core.Variant

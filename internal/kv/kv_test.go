@@ -172,6 +172,139 @@ func TestGroupCommitAmortizesGPF(t *testing.T) {
 	}
 }
 
+// TestRangedCommitAcksAtBatchBoundary: RangedCommit follows the same ack
+// discipline as GroupCommit — Durable only at the commit point.
+func TestRangedCommitAcksAtBatchBoundary(t *testing.T) {
+	st := openTest(t, Config{Shards: 1, Capacity: 64, Strategy: RangedCommit, Batch: 4})
+	for i := 0; i < 3; i++ {
+		ack, err := st.Put(core.Val(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.Durable {
+			t.Fatalf("write %d acked before batch boundary", i)
+		}
+		// Visible before durable, like an unflushed RStore'd value.
+		if v, ok, err := st.Get(core.Val(i)); err != nil || !ok || v != 1 {
+			t.Fatalf("pending write %d not visible: (%d, %v, %v)", i, v, ok, err)
+		}
+	}
+	ack, err := st.Put(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Durable {
+		t.Fatal("fourth write should close the batch")
+	}
+	if got := st.AckedCount(0); got != 4 {
+		t.Fatalf("acked = %d, want 4", got)
+	}
+	if m := st.Metrics(); m.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", m.Commits)
+	}
+}
+
+// TestRangedCommitChargesOnlyItsShard is the accounting half of the
+// tentpole claim: a GroupCommit batch's GPF stalls every shard, while a
+// RangedCommit batch's ranged flush lands on the committing shard alone.
+func TestRangedCommitChargesOnlyItsShard(t *testing.T) {
+	run := func(strat Strategy) Metrics {
+		st := openTest(t, Config{Shards: 4, Capacity: 128, Strategy: strat, Batch: 4, Seed: 8})
+		// Route every write to one shard so the other three shards perform
+		// no operations of their own.
+		target := st.ShardOf(0)
+		wrote := 0
+		for k := core.Val(0); wrote < 16; k++ {
+			if st.ShardOf(k) != target {
+				continue
+			}
+			if _, err := st.Put(k, k+1); err != nil {
+				t.Fatal(err)
+			}
+			wrote++
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		m := st.Metrics()
+		if m.Commits == 0 {
+			t.Fatalf("%v: no batches committed", strat)
+		}
+		// Idle-shard busy time is exactly the cross-charged commit cost.
+		idle := 0.0
+		for i, b := range m.PerShardBusyNS {
+			if i != target {
+				idle += b
+			}
+		}
+		if strat == GroupCommit && idle == 0 {
+			t.Fatalf("GroupCommit charged nothing to idle shards — GPF should stall the fabric")
+		}
+		if strat == RangedCommit && idle != 0 {
+			t.Fatalf("RangedCommit charged %.0f sim-ns to idle shards — commits must be shard-local", idle)
+		}
+		return m
+	}
+	run(GroupCommit)
+	run(RangedCommit)
+}
+
+// TestRangedCommitCostFlatInShardCount is the tentpole claim end to end: a
+// GroupCommit batch's GPF is charged to every shard, so mean per-op cost
+// grows linearly with shard count and batching gains stop scaling;
+// RangedCommit's per-op cost does not depend on how many shards exist.
+// (On very few shards GroupCommit can still win outright — a GPF costs the
+// same no matter how large the batch's footprint is — the point is the
+// scaling behaviour, not the single-shard constant.)
+func TestRangedCommitCostFlatInShardCount(t *testing.T) {
+	meanPerOp := func(strat Strategy, shards int) float64 {
+		st := openTest(t, Config{Shards: shards, Capacity: 128, Strategy: strat, Batch: 8, Seed: 6})
+		puts := 24 * shards
+		for k := 0; k < puts; k++ {
+			if _, err := st.Put(core.Val(k), core.Val(k+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return st.Metrics().TotalBusyNS() / float64(puts)
+	}
+	group2, group12 := meanPerOp(GroupCommit, 2), meanPerOp(GroupCommit, 12)
+	ranged2, ranged12 := meanPerOp(RangedCommit, 2), meanPerOp(RangedCommit, 12)
+	if ranged12 > 1.2*ranged2 {
+		t.Errorf("ranged per-op cost grew with shards: %.0f -> %.0f sim-ns", ranged2, ranged12)
+	}
+	if group12 < 2*group2 {
+		t.Errorf("group per-op cost did not grow with shards: %.0f -> %.0f sim-ns", group2, group12)
+	}
+	if ranged12 >= group12 {
+		t.Errorf("at 12 shards ranged commit (%.0f sim-ns/op) not below group commit (%.0f sim-ns/op)",
+			ranged12, group12)
+	}
+}
+
+func TestStrategyParsing(t *testing.T) {
+	for _, s := range Strategies {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if got, err := ParseStrategy(" RANGED "); err != nil || got != RangedCommit {
+		t.Errorf("case/space-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := ParseStrategy("turbo"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if MStoreEach.Batched() || !RangedCommit.Batched() || !GroupCommit.Batched() {
+		t.Error("Batched predicate wrong")
+	}
+	if RangedCommit.Durable() || GroupCommit.Durable() || !GPFEach.Durable() {
+		t.Error("Durable predicate wrong")
+	}
+}
+
 func TestColocatedWorkers(t *testing.T) {
 	remote := openTest(t, Config{Shards: 1, Capacity: 128, Strategy: StoreFlush, Seed: 3})
 	local := openTest(t, Config{Shards: 1, Capacity: 128, Strategy: StoreFlush, Seed: 3, Colocate: true})

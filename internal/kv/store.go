@@ -15,8 +15,9 @@ type Ack struct {
 	Shard int
 	// Seq is the write's slot in the shard's log.
 	Seq int
-	// Durable says whether the write is already persistent. Under
-	// GroupCommit it becomes true only at the batch's commit point.
+	// Durable says whether the write is already persistent. Under the
+	// batched strategies (GroupCommit, RangedCommit) it becomes true only
+	// at the batch's commit point.
 	Durable bool
 }
 
@@ -35,7 +36,7 @@ type RecoveryStats struct {
 	Recovered int
 	// Lost is the number of appended records the crash destroyed.
 	Lost int
-	// DroppedPending is the number of unacknowledged GroupCommit writes
+	// DroppedPending is the number of unacknowledged batched writes
 	// discarded by the recovery.
 	DroppedPending int
 	// SimNS is the simulated time the recovery consumed (scan + log
@@ -64,7 +65,7 @@ type shard struct {
 	index    map[core.Val]int // key -> slot of newest live record
 	log      []rec            // appended records, slot-ordered
 	acked    int              // records [0, acked) are acknowledged durable
-	pending  int              // GroupCommit records awaiting their batch's GPF
+	pending  int              // batched records awaiting their batch's commit flush
 	batchE   uint64           // shard-machine crash epoch when the open batch began
 	down     bool
 	busyNS   float64   // simulated time this shard's operations consumed
@@ -85,16 +86,17 @@ func (sh *shard) thread() *memsim.Thread {
 type Metrics struct {
 	Puts, Gets, Deletes, Scans uint64
 	ScannedPairs               uint64
-	Commits                    uint64 // group-commit GPF batches issued
+	Commits                    uint64 // commit flushes issued (GPF or ranged batches)
 	Acked                      uint64 // acknowledged (durable) writes
 	DroppedPending             uint64
 	Recoveries                 uint64
 	RecoveryNS                 []float64
 	// PerShardBusyNS is each shard's accumulated simulated busy time.
 	// Shards run on distinct machines, so the service-level makespan under
-	// perfect parallelism is the maximum entry; global operations (GPF)
+	// perfect parallelism is the maximum entry. Global operations (GPF)
 	// are charged to every shard because a Global Persistent Flush stalls
-	// the whole fabric.
+	// the whole fabric; RangedCommit's ranged flushes involve only the
+	// shard's own device and are charged to that shard alone.
 	PerShardBusyNS []float64
 	// WriteLatencies are simulated ack latencies of acknowledged writes.
 	WriteLatencies []float64
@@ -288,7 +290,7 @@ func (s *Store) writeRecord(sh *shard, slot int, key, val core.Val) error {
 			}
 		}
 
-	case GroupCommit:
+	case GroupCommit, RangedCommit:
 		if sh.pending == 0 {
 			sh.batchE = s.cluster.Epoch(sh.machine)
 		}
@@ -302,7 +304,7 @@ func (s *Store) writeRecord(sh *shard, slot int, key, val core.Val) error {
 }
 
 // lstoreRecord writes the record at slot into the worker's cache (visible,
-// not yet durable) — the GroupCommit enqueue and re-issue path.
+// not yet durable) — the batched strategies' enqueue and re-issue path.
 func lstoreRecord(t *memsim.Thread, sh *shard, slot int, key, val core.Val) error {
 	locs := [recWords]core.LocID{sh.keyLoc(slot), sh.valLoc(slot), sh.chkLoc(slot)}
 	vals := [recWords]core.Val{key, val, chkOf(slot, key, val)}
@@ -333,8 +335,20 @@ func (s *Store) gpf(sh *shard, t *memsim.Thread) error {
 	return nil
 }
 
-// commitLocked flushes shard sh's open GroupCommit batch and acknowledges
-// its writes.
+// rflushSlots persists shard sh's log slots [first, limit) with one ranged
+// flush over exactly those records' lines. Unlike gpf there is no
+// cross-shard charge: a ranged flush involves only the shard's own device,
+// so the rest of the fabric keeps running and the cost lands on sh alone
+// (via the caller's elapsed-span accounting).
+func (s *Store) rflushSlots(sh *shard, t *memsim.Thread, first, limit int) error {
+	if first >= limit {
+		return nil
+	}
+	return t.RFlushRange(sh.keyLoc(first), (limit-first)*recWords)
+}
+
+// commitLocked flushes shard sh's open batch (GroupCommit or RangedCommit)
+// and acknowledges its writes.
 func (s *Store) commitLocked(sh *shard) error {
 	if sh.pending == 0 {
 		return nil
@@ -358,7 +372,13 @@ func (s *Store) commitLocked(sh *shard) error {
 			sh.batchE = epoch
 			continue
 		}
-		if err := s.gpf(sh, t); err != nil {
+		var err error
+		if s.cfg.Strategy == RangedCommit {
+			err = s.rflushSlots(sh, t, len(sh.log)-sh.pending, len(sh.log))
+		} else {
+			err = s.gpf(sh, t)
+		}
+		if err != nil {
 			return err
 		}
 		if s.cluster.Epoch(sh.machine) == epoch {
@@ -498,8 +518,8 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	return out, nil
 }
 
-// Sync commits every shard's open GroupCommit batch. A no-op under the
-// per-operation strategies.
+// Sync commits every shard's open batch (GroupCommit or RangedCommit). A
+// no-op under the per-operation strategies.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -530,8 +550,10 @@ func (s *Store) Crash(i int) {
 // Recover restarts shard i after a crash: it scans the shard's log from
 // the surviving state, truncates at the first incompletely persisted
 // record, rebuilds the volatile index from what the scan read, drops any
-// unacknowledged GroupCommit writes, and re-persists the recovered prefix
-// with one GPF.
+// unacknowledged batched writes, and re-persists the recovered prefix —
+// with one GPF, or under RangedCommit with one ranged flush over the
+// shard's own recovered log lines, so even recovery stays off the rest of
+// the fabric.
 func (s *Store) Recover(i int) (RecoveryStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -545,6 +567,7 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 	}
 	t := sh.thread()
 	appended := len(sh.log)
+	ackedBefore := sh.acked
 	start := s.cluster.NowNS()
 
 	// Scan: accept records until the first one whose checksum does not
@@ -582,10 +605,26 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 	}
 
 	// Re-persist: the scan may have read records that survived only in a
-	// surviving machine's cache; one GPF makes the whole recovered prefix
-	// durable, so it also survives the next crash.
-	if err := s.gpf(sh, t); err != nil {
-		return RecoveryStats{}, err
+	// surviving machine's cache, and one flush makes the recovered prefix
+	// durable again so it also survives the next crash. Only the slots
+	// beyond the acknowledged prefix can need this: acknowledged records
+	// were already persistent before the crash and are never overwritten
+	// in place, so when the cut equals the acked prefix (always, under
+	// the per-operation strategies) there is nothing to re-persist. The
+	// truncated tail's checksums were MStored, which is persistent by
+	// itself. Under RangedCommit the flush is a ranged one over exactly
+	// the shard's own unacknowledged survivors; GroupCommit keeps the
+	// fabric-wide GPF.
+	if cut > ackedBefore {
+		if s.cfg.Strategy == RangedCommit {
+			if err := s.rflushSlots(sh, t, ackedBefore, cut); err != nil {
+				return RecoveryStats{}, err
+			}
+		} else {
+			if err := s.gpf(sh, t); err != nil {
+				return RecoveryStats{}, err
+			}
+		}
 	}
 
 	// Rebuild the index from what the scan actually read.

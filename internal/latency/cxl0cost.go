@@ -70,6 +70,10 @@ func (m *Model) CXL0CostCached(op core.Op, local, cached bool) float64 {
 	case core.OpGPF:
 		// Two-phase global drain: several fabric round trips.
 		return 4*rtt + c.DevMem + c.HostDRAM
+	case core.OpRFlushRange:
+		// Callers with a real range should use RFlushRangeCost (it needs
+		// the per-device line counts); a one-line range prices like RFlush.
+		return m.RFlushRangeCost(1, local)
 	case core.OpLRMW:
 		// Line pull (or hit) plus locked update in the local cache.
 		return loadCost() + c.FenceLocal
@@ -85,4 +89,34 @@ func (m *Model) CXL0CostCached(op core.Op, local, cached bool) float64 {
 		return loadCost() + remotePersist
 	}
 	return 0
+}
+
+// RFlushRangeCost returns the modeled cost of the portion of one ranged
+// persistent flush (core.OpRFlushRange) that lands on a single owning
+// device: lines is how many of the range's cache lines that device owns,
+// and local says whether the issuing machine is that device.
+//
+// The command cost — the fabric round trip, the device's flush-IP overhead
+// and the completion fence — is paid once per device rather than once per
+// line, so a ranged flush amortizes exactly the part of RFlush's cost that
+// repeating RFlush per line cannot: RFlushRangeCost(1, local) equals
+// CXL0Cost(OpRFlush, local), and each additional line adds only the
+// device-side media write. Crucially the total never depends on how many
+// machines the fabric has — that is what makes commits built on it
+// shard-local, where GPF's global drain stalls every device.
+func (m *Model) RFlushRangeCost(lines int, local bool) float64 {
+	if lines < 1 {
+		lines = 1
+	}
+	c := m.C
+	rtt := 2 * c.LinkHop
+	if local {
+		// Like a local RFlush, the device must still confirm over the
+		// fabric that no remote cache holds any line of its range (one
+		// round trip), then drains each line to its local medium.
+		return rtt + c.FenceLocal + float64(lines)*c.HostDRAM
+	}
+	// One flush command round trip and one fence + flush-IP overhead for
+	// the whole range; the device then writes each line to its media.
+	return rtt + c.FenceLocal + c.DevIPOverhead + float64(lines)*c.DevMem
 }

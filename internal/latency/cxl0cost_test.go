@@ -64,6 +64,47 @@ func TestCXL0CostShape(t *testing.T) {
 	}
 }
 
+// TestRFlushRangeCostShape checks the amortization structure of the ranged
+// flush: a one-line range prices exactly like RFlush, additional lines add
+// only the device-side media write, and the whole-range cost stays well
+// under both per-line RFlushing and a GPF-per-batch once ranges grow.
+func TestRFlushRangeCostShape(t *testing.T) {
+	m := NewModel()
+	for _, local := range []bool{true, false} {
+		if got, want := m.RFlushRangeCost(1, local), m.CXL0Cost(core.OpRFlush, local); got != want {
+			t.Errorf("RFlushRangeCost(1, local=%v) = %.1f, want RFlush cost %.1f", local, got, want)
+		}
+		// Degenerate inputs price as one line.
+		if m.RFlushRangeCost(0, local) != m.RFlushRangeCost(1, local) {
+			t.Errorf("local=%v: zero-line range not priced as one line", local)
+		}
+		prev := 0.0
+		for n := 1; n <= 64; n *= 2 {
+			c := m.RFlushRangeCost(n, local)
+			if c <= prev {
+				t.Errorf("local=%v: cost not increasing at %d lines", local, n)
+			}
+			prev = c
+			if n > 1 {
+				perLine := float64(n) * m.CXL0Cost(core.OpRFlush, local)
+				if c >= perLine {
+					t.Errorf("local=%v: ranged flush of %d lines (%.0f) not below %d RFlushes (%.0f)",
+						local, n, c, n, perLine)
+				}
+			}
+		}
+	}
+	// The command overhead is paid once per device: for a fixed line count,
+	// splitting across devices only adds overhead.
+	if m.RFlushRangeCost(8, false) >= 2*m.RFlushRangeCost(4, false) {
+		t.Errorf("one 8-line range not cheaper than two 4-line ranges")
+	}
+	// CXL0Cost routes the ranged op through the one-line price.
+	if m.CXL0Cost(core.OpRFlushRange, false) != m.RFlushRangeCost(1, false) {
+		t.Errorf("CXL0Cost(OpRFlushRange) disagrees with RFlushRangeCost(1)")
+	}
+}
+
 // TestCXL0CostOrderingMatchesProp1Strength: stronger primitives (per
 // Proposition 1) cost at least as much as the ones they strengthen, for
 // remote accesses.

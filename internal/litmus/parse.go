@@ -171,6 +171,8 @@ func parseMachine(name string, count int) (core.MachineID, error) {
 // parseTrace parses events in the paper's notation, whitespace- or
 // semicolon-separated: LStore1(x,1) RFlush2(x) GPF1 E2 Load1(x,0)
 // RMW events: LRMW1(x,0,1) RRMW2(y,1,2) MRMW1(x,2,3).
+// Ranged flush: RFlushRange1(x,2) flushes the 2 consecutively declared
+// locations starting at x.
 func parseTrace(text string, locs map[string]core.LocID, machines int) ([]core.Label, error) {
 	text = strings.ReplaceAll(text, ";", " ")
 	var out []core.Label
@@ -190,12 +192,14 @@ func parseTrace(text string, locs map[string]core.LocID, machines int) ([]core.L
 var eventOps = []struct {
 	prefix string
 	op     core.Op
-	args   int // 0: none, 1: loc, 2: loc+val, 3: loc+old+new
+	args   int // 0: none, 1: loc, 2: loc+val, 3: loc+old+new, 4: loc+count
 }{
 	{"LStore", core.OpLStore, 2},
 	{"RStore", core.OpRStore, 2},
 	{"MStore", core.OpMStore, 2},
 	{"LFlush", core.OpLFlush, 1},
+	// RFlushRange must precede RFlush: prefixes are matched in order.
+	{"RFlushRange", core.OpRFlushRange, 4},
 	{"RFlush", core.OpRFlush, 1},
 	{"LRMW", core.OpLRMW, 3},
 	{"RRMW", core.OpRRMW, 3},
@@ -236,8 +240,12 @@ func parseEvent(tok string, locs map[string]core.LocID, machines int) (core.Labe
 			return core.Label{}, fmt.Errorf("event %q: expected (...) arguments", tok)
 		}
 		parts := strings.Split(rest[1:len(rest)-1], ",")
-		if len(parts) != e.args {
-			return core.Label{}, fmt.Errorf("event %q: want %d arguments, got %d", tok, e.args, len(parts))
+		wantParts := e.args
+		if e.args == 4 {
+			wantParts = 2 // loc + count
+		}
+		if len(parts) != wantParts {
+			return core.Label{}, fmt.Errorf("event %q: want %d arguments, got %d", tok, wantParts, len(parts))
 		}
 		loc, ok := locs[strings.TrimSpace(parts[0])]
 		if !ok {
@@ -264,6 +272,19 @@ func parseEvent(tok string, locs map[string]core.LocID, machines int) (core.Labe
 			if lbl.New, err = parseVal(parts[2]); err != nil {
 				return core.Label{}, err
 			}
+		case 4:
+			// The count spans consecutively declared locations: script
+			// locations get consecutive LocIDs in `locs:` order, so
+			// RFlushRange1(x,2) flushes x and the location declared right
+			// after it.
+			n, perr := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if perr != nil || n < 1 {
+				return core.Label{}, fmt.Errorf("event %q: bad range count %q", tok, parts[1])
+			}
+			if int(loc)+n > len(locs) {
+				return core.Label{}, fmt.Errorf("event %q: range of %d runs past the declared locations", tok, n)
+			}
+			lbl.N = n
 		}
 		return lbl, nil
 	}

@@ -101,6 +101,47 @@ trace: LStore1(x,1) LStore1(y,2) GPF1 E1 E2 Load1(x,1) Load1(y,2)
 	}
 }
 
+func TestParseRFlushRange(t *testing.T) {
+	s, err := ParseScript(`
+machines: M1:nvm M2:nvm
+locs: x@M2 y@M2
+trace: LStore1(x,1) LStore1(y,2) RFlushRange1(x,2) E1 E2 Load1(x,1) Load1(y,2)
+expect: base=allowed psn=allowed lwb=allowed
+trace: LStore1(x,1) LStore1(y,2) RFlushRange1(x,2) E1 E2 Load1(y,0)
+expect: base=forbidden psn=forbidden lwb=forbidden
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl := s.Traces[0].Labels[2]
+	if lbl.Op != core.OpRFlushRange || lbl.M != 0 || lbl.N != 2 {
+		t.Fatalf("parsed ranged flush = %+v", lbl)
+	}
+	for i, tr := range s.Traces {
+		for variant, want := range tr.Expect {
+			if got := explore.Allows(s.Topo, variant, tr.Labels); got != want {
+				t.Errorf("trace %d under %v: got %v, want %v", i, variant, got, want)
+			}
+		}
+	}
+	// A range running past the declared locations is a parse error, not a
+	// model panic.
+	if _, err := ParseScript(`
+machines: M1:nvm
+locs: x@M1
+trace: RFlushRange1(x,2)
+`); err == nil || !strings.Contains(err.Error(), "range") {
+		t.Errorf("oversized range not rejected: %v", err)
+	}
+	if _, err := ParseScript(`
+machines: M1:nvm
+locs: x@M1
+trace: RFlushRange1(x,0)
+`); err == nil {
+		t.Error("zero range count accepted")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		name, input, wantErr string

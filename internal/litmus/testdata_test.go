@@ -15,8 +15,8 @@ func TestScriptCorpusFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 2 {
-		t.Fatalf("expected at least 2 script files, found %d", len(files))
+	if len(files) < 3 {
+		t.Fatalf("expected at least 3 script files, found %d", len(files))
 	}
 	for _, file := range files {
 		t.Run(filepath.Base(file), func(t *testing.T) {

@@ -285,6 +285,30 @@ func (c *Cluster) chargeLocked(op core.Op, local, cached bool) {
 	}
 }
 
+// chargeRangedFlushLocked charges one ranged persistent flush issued by
+// issuer over [base, base+n). Unlike GPF — whose drain involves every cache
+// in the fabric — the cost is per owning device: each device covering part
+// of the range pays one flush command plus its share of per-line media
+// writes, so the total depends on the range, never on the cluster size.
+func (c *Cluster) chargeRangedFlushLocked(issuer core.MachineID, base core.LocID, n int) {
+	c.opStats[core.OpRFlushRange]++
+	if c.cfg.Latency == nil {
+		return
+	}
+	perDevice := map[core.MachineID]int{}
+	for i := 0; i < n; i++ {
+		perDevice[c.topo.Owner(base+core.LocID(i))]++
+	}
+	// Charge devices in machine order: float64 addition is not
+	// associative, and map-iteration order would make the simulated clock
+	// nondeterministic for ranges spanning several owners.
+	for dev := 0; dev < c.topo.NumMachines(); dev++ {
+		if lines := perDevice[core.MachineID(dev)]; lines > 0 {
+			c.clockNS += c.cfg.Latency.RFlushRangeCost(lines, core.MachineID(dev) == issuer)
+		}
+	}
+}
+
 // Stats returns the number of primitives executed so far, per CXL0
 // operation. Useful for explaining benchmark results: it shows each
 // persistence strategy's primitive mix.

@@ -1,0 +1,57 @@
+package memsim_test
+
+import (
+	"fmt"
+
+	"cxl0/internal/core"
+	"cxl0/internal/memsim"
+)
+
+// ExampleThread_RFlush shows the paper's LStore+RFlush persistence idiom:
+// the store lands in the writer's cache and would be lost if the writer
+// crashed, while after the remote flush the value is on the owner's
+// physical medium and survives every crash.
+func ExampleThread_RFlush() {
+	c := memsim.NewCluster([]memsim.MachineConfig{
+		{Name: "host", Mem: core.NonVolatile, Heap: 0},
+		{Name: "pool", Mem: core.NonVolatile, Heap: 4},
+	}, memsim.Config{})
+	th, _ := c.NewThread(0)
+	x, _ := c.Alloc(1, 1)
+
+	th.LStore(x, 42)
+	fmt.Println("persisted after LStore: ", c.PersistedValue(x))
+	th.RFlush(x)
+	fmt.Println("persisted after RFlush: ", c.PersistedValue(x))
+
+	c.Crash(0)
+	c.Crash(1)
+	fmt.Println("persisted after crashes:", c.PersistedValue(x))
+	// Output:
+	// persisted after LStore:  0
+	// persisted after RFlush:  42
+	// persisted after crashes: 42
+}
+
+// ExampleThread_RFlushRange persists a whole record — several consecutive
+// locations — with a single ranged flush instead of one RFlush per word or
+// a fabric-wide GPF.
+func ExampleThread_RFlushRange() {
+	c := memsim.NewCluster([]memsim.MachineConfig{
+		{Name: "host", Mem: core.NonVolatile, Heap: 0},
+		{Name: "pool", Mem: core.NonVolatile, Heap: 8},
+	}, memsim.Config{})
+	th, _ := c.NewThread(0)
+	rec, _ := c.Alloc(1, 3) // [key, value, checksum]
+
+	th.LStore(rec, 7)
+	th.LStore(rec+1, 700)
+	th.LStore(rec+2, 707)
+	th.RFlushRange(rec, 3) // one flush for the whole record
+
+	c.Crash(0)
+	c.Crash(1)
+	fmt.Println(c.PersistedValue(rec), c.PersistedValue(rec+1), c.PersistedValue(rec+2))
+	// Output:
+	// 7 700 707
+}

@@ -27,6 +27,7 @@ func TestStatsCountPrimitives(t *testing.T) {
 	mustOK(th.LStore(x, 1))
 	mustOK(th.LStore(x, 2))
 	mustOK(th.RFlush(x))
+	mustOK(th.RFlushRange(x, 1))
 	if _, err := th.Load(x); err != nil {
 		t.Fatal(err)
 	}
@@ -40,12 +41,13 @@ func TestStatsCountPrimitives(t *testing.T) {
 
 	stats := c.Stats()
 	want := map[core.Op]uint64{
-		core.OpLStore: 2,
-		core.OpRFlush: 1,
-		core.OpLoad:   1,
-		core.OpLRMW:   1,
-		core.OpMRMW:   1,
-		core.OpMStore: 1,
+		core.OpLStore:      2,
+		core.OpRFlush:      1,
+		core.OpRFlushRange: 1,
+		core.OpLoad:        1,
+		core.OpLRMW:        1,
+		core.OpMRMW:        1,
+		core.OpMStore:      1,
 	}
 	for op, n := range want {
 		if stats[op] != n {

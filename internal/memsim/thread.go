@@ -164,6 +164,38 @@ func (t *Thread) RFlush(x core.LocID) error {
 	return nil
 }
 
+// RFlushRange drains the n consecutive locations starting at base from
+// every cache into their owners' physical memories; the whole range is
+// persistent on return. It is the ranged persistent flush of the paper's §7
+// sketch: RFlushRange(x, 1) behaves exactly like RFlush(x), and unlike GPF
+// only the devices owning lines of the range participate — the simulated
+// cost is charged per owning device (one flush command each, plus a
+// per-line media write) and is therefore independent of cluster size.
+func (t *Thread) RFlushRange(base core.LocID, n int) error {
+	if n < 1 {
+		return fmt.Errorf("memsim: RFlushRange needs n >= 1, got %d", n)
+	}
+	if int(base) < 0 || int(base)+n > t.c.topo.NumLocs() {
+		return fmt.Errorf("memsim: RFlushRange [%d,%d) outside the %d allocated locations",
+			base, int(base)+n, t.c.topo.NumLocs())
+	}
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if err := t.checkAliveLocked(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		t.drainLocked(base+core.LocID(i), true)
+	}
+	t.applyLocked(core.RFlushRangeL(t.m, base, n))
+	for i := 0; i < n; i++ {
+		t.c.coolAllLocked(base + core.LocID(i))
+	}
+	t.c.chargeRangedFlushLocked(t.m, base, n)
+	t.c.maybeEvictLocked()
+	return nil
+}
+
 // GPF performs a Global Persistent Flush: every cache in the system drains
 // to memory before it returns.
 func (t *Thread) GPF() error {

@@ -69,7 +69,7 @@ type Result struct {
 	RecordsLost    int     `json:"records_lost,omitempty"`
 	DroppedPending int     `json:"dropped_pending,omitempty"`
 
-	// Commits is the number of group-commit batches (GroupCommit only).
+	// Commits is the number of committed batches (batched strategies only).
 	Commits uint64 `json:"commits,omitempty"`
 }
 
@@ -117,7 +117,7 @@ func Run(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Ops:      o.Ops,
 	}
-	if cfg.Strategy == kv.GroupCommit {
+	if cfg.Strategy.Batched() {
 		res.Batch = cfg.Batch
 		if res.Batch <= 0 {
 			res.Batch = kv.DefaultBatch

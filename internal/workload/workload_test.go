@@ -162,6 +162,42 @@ func TestGroupCommitBeatsPerOpGPF(t *testing.T) {
 	}
 }
 
+// TestRangedCommitScalesWhereGroupCommitStalls: under a write-heavy
+// workload, GroupCommit's per-op commit cost grows with shard count (every
+// batch's GPF is charged fabric-wide) while RangedCommit's stays flat, so
+// at high shard counts ranged commits win the makespan.
+func TestRangedCommitScalesWhereGroupCommitStalls(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 60
+	run := func(s kv.Strategy, shards int) Result {
+		res, err := Run(Options{
+			Spec:  spec,
+			Store: kv.Config{Shards: shards, Strategy: s, Batch: 8},
+			Ops:   600,
+			Seed:  3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	perOp := func(r Result) float64 { return r.TotalCostNS / float64(r.Ops) }
+	group2, group12 := run(kv.GroupCommit, 2), run(kv.GroupCommit, 12)
+	ranged2, ranged12 := run(kv.RangedCommit, 2), run(kv.RangedCommit, 12)
+	if perOp(ranged12) > 1.25*perOp(ranged2) {
+		t.Errorf("ranged per-op cost grew with shards: %.0f -> %.0f sim-ns",
+			perOp(ranged2), perOp(ranged12))
+	}
+	if perOp(group12) < 1.5*perOp(group2) {
+		t.Errorf("group per-op cost did not grow with shards: %.0f -> %.0f sim-ns",
+			perOp(group2), perOp(group12))
+	}
+	if ranged12.ThroughputOpsPerSec <= group12.ThroughputOpsPerSec {
+		t.Errorf("at 12 shards ranged commit %.0f ops/s not above group commit %.0f ops/s",
+			ranged12.ThroughputOpsPerSec, group12.ThroughputOpsPerSec)
+	}
+}
+
 func TestShardingScalesWriteThroughput(t *testing.T) {
 	spec, _ := YCSB("A")
 	spec.Keys = 80
