@@ -77,7 +77,26 @@
 // under RangedCommit — one RFlushRange over the shard's own recovered log
 // lines, keeping even recovery cost off the rest of the fabric. The
 // simulated time spent recovering is the recovery-time metric reported by
-// RecoveryStats.
+// RecoveryStats. A checksum cut falling inside the acknowledged prefix can
+// only mean the durability invariant was broken; Recover reports it as
+// ErrDurabilityViolation instead of silently truncating acknowledged data.
+//
+// # Shard map and load-aware rebalancing
+//
+// Keys do not hash to shards directly: they hash to one of Config.Buckets
+// virtual buckets, and a shard map assigns each bucket to a shard (bucket
+// b starts on shard b mod Shards). The indirection is what makes placement
+// a runtime decision: MigrateBucket moves one bucket's live records to
+// another shard — copied durably with the store's own persistence strategy
+// (under RangedCommit, one ranged flush over the copied records) and made
+// crash-safe by move-marker records in both shards' logs — and Rebalance
+// watches per-shard busy-time shares, migrating the hottest buckets off a
+// shard whose share exceeds Config.RebalanceThreshold × the mean. Under a
+// zipfian mix this turns the static hash layout's hot-shard makespan
+// bottleneck into a balanced one, and because RangedCommit charges commit
+// cost shard-locally, migrating a hot bucket sheds its commit cost too —
+// something a fabric-wide GPF commit cannot do. See docs/rebalancing.md
+// for the full migration protocol and its crash-safety argument.
 package kv
 
 import (
@@ -100,6 +119,13 @@ var ErrShardFull = errors.New("kv: shard log full")
 // ErrBadKey is returned for negative keys or non-positive values (value 0
 // is reserved for delete tombstones, negative values for the runtime).
 var ErrBadKey = errors.New("kv: keys must be >= 0 and values >= 1")
+
+// ErrDurabilityViolation is returned by Recover when the checksum cut falls
+// inside the acknowledged prefix: an acknowledged — and therefore durable —
+// record failed to validate, which no crash should be able to cause. It
+// indicates a broken persistence strategy (or corrupted medium), not a
+// recoverable condition.
+var ErrDurabilityViolation = errors.New("kv: durability violation: acknowledged record lost")
 
 // Strategy selects how writes reach persistence and when they are
 // acknowledged.
@@ -163,10 +189,33 @@ func (s Strategy) Batched() bool { return s == GroupCommit || s == RangedCommit 
 // RangedCommit) use when Config.Batch is zero.
 const DefaultBatch = 32
 
+// DefaultBuckets is the virtual-bucket count of the shard map when
+// Config.Buckets is zero. More buckets give the rebalancer finer migration
+// granularity (down to isolating a single hot key's bucket); the map
+// itself is a front-end DRAM array, so the count costs nothing on the
+// simulated clock.
+const DefaultBuckets = 128
+
+// DefaultRebalanceThreshold is the busy-share imbalance (max/mean over the
+// window since the last check) above which Rebalance starts migrating
+// buckets, when Config.RebalanceThreshold is zero.
+const DefaultRebalanceThreshold = 1.2
+
 // Config describes a Store.
 type Config struct {
 	// Shards is the number of shard machines (default 1).
 	Shards int
+	// Buckets is the number of virtual buckets of the shard map (default
+	// DefaultBuckets), rounded up to a multiple of Shards: then the
+	// initial layout (bucket b on shard b mod Shards) routes every key to
+	// exactly the shard static hash-mod-Shards routing would, and the map
+	// only diverges once migrations happen. Keys hash to buckets; buckets
+	// map to shards and can be migrated between them at runtime.
+	Buckets int
+	// RebalanceThreshold is the max/mean busy-share ratio above which
+	// Rebalance migrates buckets (default DefaultRebalanceThreshold;
+	// values below 1 are treated as 1).
+	RebalanceThreshold float64
 	// Capacity is the number of log records per shard (default 4096).
 	Capacity int
 	// Strategy selects the persistence strategy.
@@ -194,6 +243,20 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.Buckets < c.Shards {
+		c.Buckets = c.Shards
+	}
+	if r := c.Buckets % c.Shards; r != 0 {
+		c.Buckets += c.Shards - r
+	}
+	if c.RebalanceThreshold <= 0 {
+		c.RebalanceThreshold = DefaultRebalanceThreshold
+	} else if c.RebalanceThreshold < 1 {
+		c.RebalanceThreshold = 1
 	}
 	if c.Capacity <= 0 {
 		c.Capacity = 4096
@@ -223,6 +286,16 @@ func chkOf(slot int, key, val core.Val) core.Val {
 	h ^= (uint64(val) + 7) * 0xc4ceb9fe1a85ec53
 	h ^= h >> 29
 	return core.Val(h%((1<<40)-1)) + 1
+}
+
+// moveChkOf is the checksum domain of move-marker records (bucket
+// migration bookkeeping in the log; see migrate.go). Client checksums are
+// < 2^41 and move checksums ≥ 2^41, so a recovery scan can tell the record
+// kinds apart from the checksum word alone while keeping the same
+// partial-persist detection: a half-written marker validates in neither
+// domain.
+func moveChkOf(slot int, key, val core.Val) core.Val {
+	return chkOf(slot, key, val) + (1 << 41)
 }
 
 // hashKey spreads keys over shards (Fibonacci hashing, as in ds.Map).

@@ -284,6 +284,239 @@ func TestRangedCommitCostFlatInShardCount(t *testing.T) {
 	}
 }
 
+// TestShardMapMigrateBucket covers the shard-map indirection end to end:
+// migrating a bucket repoints routing, hands the index over, keeps every
+// value readable, and reports itself in the metrics.
+func TestShardMapMigrateBucket(t *testing.T) {
+	st := openTest(t, Config{Shards: 3, Buckets: 12, Capacity: 64, Strategy: RangedCommit, Batch: 4, Seed: 7})
+	for k := core.Val(0); k < 21; k++ {
+		if _, err := st.Put(k, k*10+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	b := st.BucketOf(5)
+	from := st.ShardOfBucket(b)
+	to := (from + 1) % 3
+	stats, err := st.MigrateBucket(b, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.From != from || stats.To != to || stats.Records < 1 || stats.SimNS <= 0 {
+		t.Fatalf("migration stats %+v", stats)
+	}
+	for k := core.Val(0); k < 21; k++ {
+		if st.BucketOf(k) == b && st.ShardOf(k) != to {
+			t.Fatalf("key %d (bucket %d) still routes to shard %d", k, b, st.ShardOf(k))
+		}
+		v, ok, err := st.Get(k)
+		if err != nil || !ok || v != k*10+1 {
+			t.Fatalf("get %d after migration = (%d, %v, %v)", k, v, ok, err)
+		}
+		if st.BucketOf(k) == b {
+			if _, stale := st.shards[from].index[k]; stale {
+				t.Fatalf("key %d still indexed on source shard %d", k, from)
+			}
+		}
+	}
+	pairs, err := st.Scan(0, 100, 0)
+	if err != nil || len(pairs) != 21 {
+		t.Fatalf("scan after migration: %d pairs, %v", len(pairs), err)
+	}
+	// Migrating to the current owner is a no-op.
+	if noop, err := st.MigrateBucket(b, to); err != nil || noop.Records != 0 {
+		t.Fatalf("no-op migration = %+v, %v", noop, err)
+	}
+	m := st.Metrics()
+	if m.Migrations != 1 || int(m.MigratedRecords) != stats.Records {
+		t.Fatalf("metrics: %d migrations, %d records; want 1, %d",
+			m.Migrations, m.MigratedRecords, stats.Records)
+	}
+}
+
+// TestRebalanceShedsHotLoad drives two hot buckets that start on the same
+// shard and checks that Rebalance splits them: the busy-share imbalance of
+// the post-rebalance window must be strictly below the static one.
+func TestRebalanceShedsHotLoad(t *testing.T) {
+	st := openTest(t, Config{Shards: 4, Strategy: RangedCommit, Batch: 8, Capacity: 4096, Seed: 9, RebalanceThreshold: 1.1})
+	// Two keys in different buckets served by the same shard.
+	k1 := core.Val(0)
+	k2 := core.Val(-1)
+	for k := core.Val(1); k < 200; k++ {
+		if st.ShardOf(k) == st.ShardOf(k1) && st.BucketOf(k) != st.BucketOf(k1) {
+			k2 = k
+			break
+		}
+	}
+	if k2 < 0 {
+		t.Fatal("no bucket pair found")
+	}
+	hammer := func() []float64 {
+		for i := 0; i < 150; i++ {
+			for _, k := range []core.Val{k1, k2} {
+				if _, err := st.Put(k, core.Val(i)+1); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := st.Get(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return st.Metrics().PerShardBusyNS
+	}
+	ratio := func(delta []float64) float64 {
+		max, total := 0.0, 0.0
+		for _, d := range delta {
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		return max / (total / float64(len(delta)))
+	}
+	window1 := hammer()
+	moves, err := st.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("rebalance moved nothing off the hot shard")
+	}
+	if st.ShardOf(k1) == st.ShardOf(k2) {
+		t.Fatalf("hot buckets still colocated on shard %d", st.ShardOf(k1))
+	}
+	base := st.Metrics().PerShardBusyNS
+	window2 := hammer()
+	delta := make([]float64, len(window2))
+	for i := range delta {
+		delta[i] = window2[i] - base[i]
+	}
+	if r1, r2 := ratio(window1), ratio(delta); r2 >= r1 {
+		t.Fatalf("imbalance did not improve: %.2f static, %.2f rebalanced", r1, r2)
+	}
+}
+
+// TestScanSkipsIdleDownShard: a scan must only fail when a down shard
+// actually holds keys in the scanned range.
+func TestScanSkipsIdleDownShard(t *testing.T) {
+	st := openTest(t, Config{Shards: 2, Capacity: 32, Strategy: MStoreEach, Seed: 5})
+	up := core.Val(0)
+	down := core.Val(-1)
+	for k := core.Val(1); k < 50; k++ {
+		if st.ShardOf(k) != st.ShardOf(up) {
+			down = k
+			break
+		}
+	}
+	if down < 0 {
+		t.Fatal("no key pair on distinct shards")
+	}
+	for _, k := range []core.Val{up, down} {
+		if _, err := st.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Crash(st.ShardOf(down))
+	pairs, err := st.Scan(up, up+1, 0)
+	if err != nil || len(pairs) != 1 || pairs[0].Key != up {
+		t.Fatalf("scan of live shard's range = %v, %v; want just key %d", pairs, err, up)
+	}
+	if _, err := st.Scan(down, down+1, 0); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("scan touching the down shard: %v, want ErrShardDown", err)
+	}
+}
+
+// TestAckedCountsCumulativeClientWrites pins the Metrics.Acked semantics:
+// a cumulative acknowledged-client-write counter that neither recovery
+// truncation nor migration bookkeeping can distort.
+func TestAckedCountsCumulativeClientWrites(t *testing.T) {
+	st := openTest(t, Config{Shards: 2, Buckets: 8, Capacity: 128, Strategy: GroupCommit, Batch: 4, Seed: 13})
+	for k := core.Val(0); k < 10; k++ {
+		if _, err := st.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Metrics().Acked; got != 10 {
+		t.Fatalf("acked = %d after 10 synced puts", got)
+	}
+	// Migration copies records and appends move markers; none of that is
+	// a client write.
+	b := st.BucketOf(0)
+	if _, err := st.MigrateBucket(b, 1-st.ShardOfBucket(b)); err != nil {
+		t.Fatal(err)
+	}
+	m := st.Metrics()
+	if m.Acked != 10 {
+		t.Fatalf("migration changed Acked: %d", m.Acked)
+	}
+	if m.MigratedRecords == 0 {
+		t.Fatal("migration copied nothing")
+	}
+	// Crash churn with pending writes: the counter must never go back.
+	before := m.Acked
+	for k := core.Val(20); k < 22; k++ {
+		if _, err := st.Put(k, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < st.NumShards(); i++ {
+		st.Crash(i)
+		if _, err := st.Recover(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := st.Metrics().Acked
+	if after < before {
+		t.Fatalf("acked went backwards across recovery: %d -> %d", before, after)
+	}
+	// Slot reuse after truncation keeps counting forward.
+	for k := core.Val(30); k < 34; k++ {
+		if _, err := st.Put(k, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Metrics().Acked; got != after+4 {
+		t.Fatalf("acked = %d after 4 more synced puts, want %d", got, after+4)
+	}
+}
+
+// TestRecoverDetectsDurabilityViolation: a checksum cut inside the
+// acknowledged prefix is impossible while the strategies keep their
+// contract, so Recover must report it instead of silently truncating
+// acknowledged data.
+func TestRecoverDetectsDurabilityViolation(t *testing.T) {
+	st := openTest(t, Config{Shards: 1, Capacity: 32, Strategy: MStoreEach, Seed: 3})
+	for k := core.Val(0); k < 5; k++ {
+		if _, err := st.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt an acknowledged record's checksum word behind the service's
+	// back — simulated medium corruption.
+	th, err := st.Cluster().NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.MStore(st.shards[0].chkLoc(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Crash(0)
+	if _, err := st.Recover(0); !errors.Is(err, ErrDurabilityViolation) {
+		t.Fatalf("recover after corruption: %v, want ErrDurabilityViolation", err)
+	}
+}
+
 func TestStrategyParsing(t *testing.T) {
 	for _, s := range Strategies {
 		got, err := ParseStrategy(s.String())

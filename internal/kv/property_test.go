@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -168,6 +169,409 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				testCrashRecovery(t, strat, variant)
 			})
 		}
+	}
+}
+
+// verifyMigrated checks the full store against the model after migrations
+// and crashes: every acknowledged write must be served with its value,
+// deleted keys must stay deleted, and no key may be indexed on more than
+// one shard (or on a shard the map does not route it to).
+func verifyMigrated(t *testing.T, st *Store, want map[core.Val]core.Val, maxKey core.Val) {
+	t.Helper()
+	for k := core.Val(0); k <= maxKey; k++ {
+		v, ok, err := st.Get(k)
+		if err != nil {
+			t.Fatalf("get(%d): %v", k, err)
+		}
+		wv, wok := want[k]
+		if ok != wok || (ok && v != wv) {
+			t.Fatalf("get(%d) = (%d,%v), model (%d,%v)", k, v, ok, wv, wok)
+		}
+		owners := 0
+		for i, sh := range st.shards {
+			if _, present := sh.index[k]; present {
+				owners++
+				if st.ShardOf(k) != i {
+					t.Fatalf("key %d indexed on shard %d but routed to shard %d", k, i, st.ShardOf(k))
+				}
+			}
+		}
+		if owners > 1 {
+			t.Fatalf("key %d served from %d shards", k, owners)
+		}
+	}
+}
+
+// testMigrationCrashAt runs one migration with a crash injected at the
+// given step (victim: source shard, destination shard, or both) and checks
+// that acknowledged writes survive, ownership stays single-shard, and the
+// store keeps working — through a repeated migration and one more full
+// crash/recover cycle.
+func testMigrationCrashAt(t *testing.T, strat Strategy, variant core.Variant, step MigrateStep, victim string) {
+	const maxKey = 30
+	st, err := Open(Config{
+		Shards:     2,
+		Buckets:    8,
+		Capacity:   512,
+		Strategy:   strat,
+		Batch:      3,
+		Variant:    variant,
+		EvictEvery: 2,
+		Seed:       int64(strat)*1000 + int64(variant)*100 + int64(step)*10 + int64(len(victim)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[core.Val]core.Val{}
+	for k := core.Val(0); k <= maxKey; k++ {
+		if _, err := st.Put(k, 100+k); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = 100 + k
+	}
+	for k := core.Val(0); k <= maxKey; k += 7 {
+		if _, err := st.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving write above is acknowledged durable from here on.
+
+	// Pick a bucket holding at least one live key.
+	b := -1
+	for k := core.Val(0); k <= maxKey; k++ {
+		if _, ok := want[k]; ok {
+			b = st.BucketOf(k)
+			break
+		}
+	}
+	if b < 0 {
+		t.Fatal("no live bucket")
+	}
+	from := st.ShardOfBucket(b)
+	to := 1 - from
+
+	fired := false
+	st.migrateHook = func(s MigrateStep) {
+		if s != step || fired {
+			return
+		}
+		fired = true
+		if victim == "src" || victim == "both" {
+			st.crashLocked(from)
+		}
+		if victim == "dst" || victim == "both" {
+			st.crashLocked(to)
+		}
+	}
+	_, migErr := st.MigrateBucket(b, to)
+	st.migrateHook = nil
+	if !fired {
+		t.Fatalf("hook never fired at %v", step)
+	}
+	// Aborting (migErr != nil) and completing are both legal outcomes of a
+	// mid-migration crash; what must hold afterwards is the contract below.
+	for i := range st.shards {
+		if st.shards[i].down {
+			if _, err := st.Recover(i); err != nil {
+				t.Fatalf("recover shard %d (migrate err %v): %v", i, migErr, err)
+			}
+		}
+	}
+	verifyMigrated(t, st, want, maxKey)
+
+	// Mutate the bucket's keys so any orphaned copies the aborted attempt
+	// left in a log now hold stale values — if a later replay fails to
+	// retire them (the move-in marker's wipe rule), verification catches
+	// the resurrection.
+	mutated := false
+	for k := core.Val(0); k <= maxKey; k++ {
+		if st.BucketOf(k) != b {
+			continue
+		}
+		if _, ok := want[k]; !ok {
+			continue
+		}
+		if !mutated {
+			if _, err := st.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, k)
+			mutated = true
+			continue
+		}
+		if _, err := st.Put(k, 900+k); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = 900 + k
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The service must still migrate and serve: finish moving the bucket
+	// (wherever it ended up) to the other shard, then survive one more
+	// crash/recover round per shard.
+	cur := st.ShardOfBucket(b)
+	if _, err := st.MigrateBucket(b, 1-cur); err != nil {
+		t.Fatalf("follow-up migration: %v", err)
+	}
+	verifyMigrated(t, st, want, maxKey)
+	for i := range st.shards {
+		st.Crash(i)
+		if _, err := st.Recover(i); err != nil {
+			t.Fatalf("post-migration recover shard %d: %v", i, err)
+		}
+	}
+	verifyMigrated(t, st, want, maxKey)
+}
+
+// TestMigrationCrashSteps crashes the source shard, the destination shard,
+// and both at every checkpoint of a bucket migration, across all six
+// persistence strategies and all three hardware variants: acknowledged
+// writes must survive and no key may ever be served from two shards.
+func TestMigrationCrashSteps(t *testing.T) {
+	steps := []MigrateStep{StepBeforeCopy, StepMidCopy, StepAfterCopy, StepBeforeFlip, StepAfterFlip}
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		for _, strat := range Strategies {
+			for _, step := range steps {
+				for _, victim := range []string{"src", "dst", "both"} {
+					t.Run(fmt.Sprintf("%v/%v/%v/%s", variant, strat, step, victim), func(t *testing.T) {
+						testMigrationCrashAt(t, strat, variant, step, victim)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestMigrationRedoFromLog simulates losing the in-memory map flip after
+// the migration's commit point (the front-end dying between the durable
+// move-out record and the flip, modeled by a panicking hook): recovery of
+// the source shard must read the move-out record and complete the flip,
+// serving the bucket from the destination's durable copies.
+func TestMigrationRedoFromLog(t *testing.T) {
+	for _, strat := range Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			st, err := Open(Config{
+				Shards: 2, Buckets: 8, Capacity: 256, Strategy: strat, Batch: 3, Seed: 21, EvictEvery: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[core.Val]core.Val{}
+			for k := core.Val(0); k <= 20; k++ {
+				if _, err := st.Put(k, 500+k); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = 500 + k
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			b := st.BucketOf(0)
+			from := st.ShardOfBucket(b)
+			to := 1 - from
+
+			st.migrateHook = func(s MigrateStep) {
+				if s == StepBeforeFlip {
+					st.crashLocked(from)
+					panic("front-end died before the map flip")
+				}
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("hook did not panic")
+					}
+				}()
+				st.MigrateBucket(b, to)
+			}()
+			st.migrateHook = nil
+			if st.ShardOfBucket(b) != from {
+				t.Fatal("map flipped despite the lost flip")
+			}
+			if _, err := st.Recover(from); err != nil {
+				t.Fatal(err)
+			}
+			if st.ShardOfBucket(b) != to {
+				t.Fatalf("recovery did not redo the flip: bucket %d still on shard %d", b, from)
+			}
+			verifyMigrated(t, st, want, 20)
+		})
+	}
+}
+
+// TestMigrationRedoWithDestinationDown: recovery redoes a lost flip while
+// the destination is also down. The destination's index must be rebuilt
+// from its mirror anyway — so a Scan over the bucket's keys reports
+// ErrShardDown instead of silently omitting acknowledged data — and after
+// the destination recovers, every key is served from it.
+func TestMigrationRedoWithDestinationDown(t *testing.T) {
+	for _, strat := range Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			st, err := Open(Config{
+				Shards: 2, Buckets: 8, Capacity: 256, Strategy: strat, Batch: 3, Seed: 33, EvictEvery: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[core.Val]core.Val{}
+			for k := core.Val(0); k <= 20; k++ {
+				if _, err := st.Put(k, 500+k); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = 500 + k
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			b := st.BucketOf(0)
+			from := st.ShardOfBucket(b)
+			to := 1 - from
+
+			st.migrateHook = func(s MigrateStep) {
+				if s == StepBeforeFlip {
+					st.crashLocked(from)
+					st.crashLocked(to)
+					panic("front-end died before the map flip, both shards down")
+				}
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("hook did not panic")
+					}
+				}()
+				st.MigrateBucket(b, to)
+			}()
+			st.migrateHook = nil
+
+			// Recover only the source: the redo flips the bucket to the
+			// still-down destination.
+			if _, err := st.Recover(from); err != nil {
+				t.Fatal(err)
+			}
+			if st.ShardOfBucket(b) != to {
+				t.Fatalf("recovery did not redo the flip onto the down destination")
+			}
+			// The bucket's keys are durably owned by the down destination:
+			// reads and scans over them must fail loudly, not omit them.
+			var bucketKey core.Val = -1
+			for k := core.Val(0); k <= 20; k++ {
+				if st.BucketOf(k) == b {
+					bucketKey = k
+					break
+				}
+			}
+			if bucketKey < 0 {
+				t.Fatal("bucket held no keys")
+			}
+			if _, _, err := st.Get(bucketKey); !errors.Is(err, ErrShardDown) {
+				t.Fatalf("get on redo'd-down shard: %v, want ErrShardDown", err)
+			}
+			if _, err := st.Scan(bucketKey, bucketKey+1, 0); !errors.Is(err, ErrShardDown) {
+				t.Fatalf("scan over redo'd-down shard's key: %v, want ErrShardDown", err)
+			}
+			if _, err := st.Recover(to); err != nil {
+				t.Fatal(err)
+			}
+			verifyMigrated(t, st, want, 20)
+		})
+	}
+}
+
+// TestMigrationRedoSupersededByLaterWrites pins the one case where a
+// durable move-out record must NOT be redone: the migration failed in
+// phase 2 (commit record durable, map never flipped — modeled by a
+// panicking hook with no machine crash), the source kept serving the
+// bucket and acknowledged newer writes, and only then crashed. Redoing
+// the flip would resurrect the destination's stale copies over the
+// acknowledged values.
+func TestMigrationRedoSupersededByLaterWrites(t *testing.T) {
+	for _, strat := range Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			st, err := Open(Config{
+				Shards: 2, Buckets: 8, Capacity: 256, Strategy: strat, Batch: 3, Seed: 27, EvictEvery: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[core.Val]core.Val{}
+			for k := core.Val(0); k <= 20; k++ {
+				if _, err := st.Put(k, 500+k); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = 500 + k
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// A bucket with at least two live keys: the supersede must be
+			// provable from a single rewritten key while the OTHER keys'
+			// survival is what the wipe rule would otherwise destroy.
+			b, rewrite := -1, core.Val(-1)
+			for k := core.Val(0); k <= 20 && b < 0; k++ {
+				n := 0
+				for k2 := core.Val(0); k2 <= 20; k2++ {
+					if st.BucketOf(k2) == st.BucketOf(k) {
+						n++
+					}
+				}
+				if n >= 2 {
+					b, rewrite = st.BucketOf(k), k
+				}
+			}
+			if b < 0 {
+				t.Fatal("no bucket with two keys")
+			}
+			from := st.ShardOfBucket(b)
+
+			// Phase-2 failure: move-out durable, flip lost, no crash.
+			st.migrateHook = func(s MigrateStep) {
+				if s == StepBeforeFlip {
+					panic("phase-2 failure after the commit record")
+				}
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("hook did not panic")
+					}
+				}()
+				st.MigrateBucket(b, 1-from)
+			}()
+			st.migrateHook = nil
+
+			// The source keeps serving the bucket and acknowledges ONE
+			// newer write after the orphaned marker — every other key of
+			// the bucket must survive recovery untouched.
+			if _, err := st.Put(rewrite, 700+rewrite); err != nil {
+				t.Fatal(err)
+			}
+			want[rewrite] = 700 + rewrite
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			st.Crash(from)
+			if _, err := st.Recover(from); err != nil {
+				t.Fatal(err)
+			}
+			if st.ShardOfBucket(b) != from {
+				t.Fatalf("recovery redid a superseded flip: bucket %d moved to shard %d", b, st.ShardOfBucket(b))
+			}
+			verifyMigrated(t, st, want, 20)
+
+			// The bucket must still migrate cleanly afterwards.
+			if _, err := st.MigrateBucket(b, 1-from); err != nil {
+				t.Fatal(err)
+			}
+			verifyMigrated(t, st, want, 20)
+		})
 	}
 }
 

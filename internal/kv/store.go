@@ -49,6 +49,21 @@ type RecoveryStats struct {
 type rec struct {
 	key, val core.Val
 	startNS  float64 // simulated submit time, for ack-latency accounting
+	// move marks a move-marker record (bucket-migration bookkeeping, keyed
+	// by bucket rather than client key; checksummed in the moveChkOf
+	// domain). copied marks a migrated copy of a client record — real
+	// (key, value) content, but its write was acknowledged on the source
+	// shard, so it is excluded from ack-latency and acked-write counting.
+	move, copied bool
+}
+
+// chk returns the record's checksum word for slot, in the domain matching
+// its kind.
+func (r rec) chk(slot int) core.Val {
+	if r.move {
+		return moveChkOf(slot, r.key, r.val)
+	}
+	return chkOf(slot, r.key, r.val)
 }
 
 // shard is one hash partition: a log region on one machine plus the
@@ -62,13 +77,18 @@ type shard struct {
 	threads []*memsim.Thread
 	rr      int
 
-	index    map[core.Val]int // key -> slot of newest live record
-	log      []rec            // appended records, slot-ordered
-	acked    int              // records [0, acked) are acknowledged durable
-	pending  int              // batched records awaiting their batch's commit flush
-	batchE   uint64           // shard-machine crash epoch when the open batch began
-	down     bool
-	busyNS   float64   // simulated time this shard's operations consumed
+	index   map[core.Val]int // key -> slot of newest live record
+	log     []rec            // appended records, slot-ordered
+	acked   int              // records [0, acked) are acknowledged durable
+	pending int              // batched records awaiting their batch's commit flush
+	batchE  uint64           // shard-machine crash epoch when the open batch began
+	down    bool
+	busyNS  float64 // simulated time this shard's operations consumed
+	// churnNS is the part of busyNS spent on crash recovery and bucket
+	// migration — exogenous, one-off costs that say nothing about where
+	// traffic is placed. The placement-skew metric and the rebalancer's
+	// load windows exclude it.
+	churnNS  float64
 	writeLat []float64 // ack latencies of acknowledged writes
 }
 
@@ -87,10 +107,18 @@ type Metrics struct {
 	Puts, Gets, Deletes, Scans uint64
 	ScannedPairs               uint64
 	Commits                    uint64 // commit flushes issued (GPF or ranged batches)
-	Acked                      uint64 // acknowledged (durable) writes
-	DroppedPending             uint64
-	Recoveries                 uint64
-	RecoveryNS                 []float64
+	// Acked is the cumulative count of client writes acknowledged durable
+	// (at return, at a batch commit, via Sync, or by a recovery that
+	// salvaged a pending batch). It only ever grows: recovery truncation
+	// and bucket migration move log positions around, but an acknowledged
+	// write stays acknowledged. Migrated copies are not client writes and
+	// are counted in MigratedRecords instead.
+	Acked           uint64
+	DroppedPending  uint64
+	Recoveries      uint64
+	Migrations      uint64 // completed bucket migrations
+	MigratedRecords uint64 // live records copied by completed migrations
+	RecoveryNS      []float64
 	// PerShardBusyNS is each shard's accumulated simulated busy time.
 	// Shards run on distinct machines, so the service-level makespan under
 	// perfect parallelism is the maximum entry. Global operations (GPF)
@@ -98,6 +126,10 @@ type Metrics struct {
 	// the whole fabric; RangedCommit's ranged flushes involve only the
 	// shard's own device and are charged to that shard alone.
 	PerShardBusyNS []float64
+	// PerShardChurnNS is the part of PerShardBusyNS spent on crash
+	// recovery and bucket migration: exogenous one-off costs, excluded
+	// from the placement-skew metric (MaxMeanBusyRatio).
+	PerShardChurnNS []float64
 	// WriteLatencies are simulated ack latencies of acknowledged writes.
 	WriteLatencies []float64
 }
@@ -124,6 +156,30 @@ func (m Metrics) TotalBusyNS() float64 {
 	return total
 }
 
+// MaxMeanBusyRatio returns the busiest shard's traffic time divided by
+// the mean — the placement-skew metric: 1.0 is a perfectly balanced
+// service, and the traffic makespan exceeds the ideally parallel one by
+// exactly this factor. Churn time (crash recovery, bucket migration) is
+// excluded: it is one-off cost unrelated to where traffic is routed, and
+// the run's crash schedule would otherwise drown the signal. Returns 0
+// when no traffic time has accumulated.
+func (m Metrics) MaxMeanBusyRatio() float64 {
+	max, total := 0.0, 0.0
+	for i, b := range m.PerShardBusyNS {
+		if i < len(m.PerShardChurnNS) {
+			b -= m.PerShardChurnNS[i]
+		}
+		total += b
+		if b > max {
+			max = b
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return max / (total / float64(len(m.PerShardBusyNS)))
+}
+
 // Store is a sharded durable key-value service over one memsim cluster.
 // Methods are safe for concurrent use; operations serialize per shard.
 type Store struct {
@@ -133,12 +189,41 @@ type Store struct {
 	front   core.MachineID
 	shards  []*shard
 
+	// Shard map: keys hash to one of len(shardMap) virtual buckets;
+	// shardMap assigns each bucket to a shard. bucketVer is the version of
+	// the last migration applied per bucket and moveSeq the last version
+	// allocated — recovery uses them to decide whether a durable move-out
+	// record in a scanned log is newer than the in-memory map (redo) or
+	// already applied.
+	shardMap  []int
+	bucketVer []uint64
+	moveSeq   uint64
+
+	// Rebalance window: winBase snapshots each shard's traffic time
+	// (busyNS - churnNS) at the last Rebalance call and bucketWin
+	// accumulates per-bucket busy time since, so load decisions track the
+	// current traffic mix, not the whole run.
+	winBase   []float64
+	bucketWin []float64
+
 	puts, gets, deletes, scans uint64
 	scannedPairs               uint64
 	commits                    uint64
+	ackedWrites                uint64
 	dropped                    uint64
 	recoveries                 uint64
+	migrations                 uint64
+	migratedRecords            uint64
 	recoveryNS                 []float64
+
+	// migrating is true while a bucket migration is writing and flushing
+	// its copies and markers, so shared flush paths (flushPending's GPF
+	// cross-charge) can classify their cost as churn.
+	migrating bool
+
+	// migrateHook, when set (tests only), is called at each checkpoint of
+	// a bucket migration with the store lock held.
+	migrateHook func(step MigrateStep)
 }
 
 // Open builds the cluster (one front-end machine plus one machine per
@@ -162,7 +247,18 @@ func Open(cfg Config) (*Store, error) {
 		Seed:       cfg.Seed,
 		Latency:    cfg.Latency,
 	})
-	s := &Store{cfg: cfg, cluster: cluster, front: 0}
+	s := &Store{
+		cfg:       cfg,
+		cluster:   cluster,
+		front:     0,
+		shardMap:  make([]int, cfg.Buckets),
+		bucketVer: make([]uint64, cfg.Buckets),
+		bucketWin: make([]float64, cfg.Buckets),
+		winBase:   make([]float64, cfg.Shards),
+	}
+	for b := range s.shardMap {
+		s.shardMap[b] = b % cfg.Shards
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			id:      i,
@@ -206,9 +302,32 @@ func (s *Store) Cluster() *memsim.Cluster { return s.cluster }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// ShardOf returns the shard index key k routes to.
+// NumBuckets returns the virtual-bucket count of the shard map.
+func (s *Store) NumBuckets() int { return len(s.shardMap) }
+
+// BucketOf returns the virtual bucket key k hashes to. The assignment is
+// fixed for a store's lifetime; which shard serves the bucket is not.
+func (s *Store) BucketOf(k core.Val) int { return s.bucketOf(k) }
+
+func (s *Store) bucketOf(k core.Val) int {
+	return int(hashKey(k) % uint64(len(s.shardMap)))
+}
+
+// ShardOf returns the shard index key k currently routes to. It can change
+// over the store's lifetime: bucket migration reassigns the key's bucket.
 func (s *Store) ShardOf(k core.Val) int {
-	return int(hashKey(k) % uint64(len(s.shards)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardOf(k)
+}
+
+func (s *Store) shardOf(k core.Val) int { return s.shardMap[s.bucketOf(k)] }
+
+// ShardOfBucket returns the shard currently serving bucket b.
+func (s *Store) ShardOfBucket(b int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardMap[b]
 }
 
 // AckedCount returns how many of shard i's log records are acknowledged
@@ -227,14 +346,13 @@ func (s *Store) AppendedCount(i int) int {
 	return len(s.shards[i].log)
 }
 
-// writeRecord makes the record at slot durable (or enqueues it, under
-// GroupCommit) according to the strategy. The caller has already bounds-
-// checked slot.
-func (s *Store) writeRecord(sh *shard, slot int, key, val core.Val) error {
+// writeRecord makes the record at slot durable (or enqueues it, under the
+// batched strategies) according to the strategy. The caller has already
+// bounds-checked slot.
+func (s *Store) writeRecord(sh *shard, slot int, r rec) error {
 	t := sh.thread()
-	chk := chkOf(slot, key, val)
 	locs := [recWords]core.LocID{sh.keyLoc(slot), sh.valLoc(slot), sh.chkLoc(slot)}
-	vals := [recWords]core.Val{key, val, chk}
+	vals := [recWords]core.Val{r.key, r.val, r.chk(slot)}
 
 	switch s.cfg.Strategy {
 	case MStoreEach:
@@ -279,10 +397,10 @@ func (s *Store) writeRecord(sh *shard, slot int, key, val core.Val) error {
 	case GPFEach:
 		for {
 			epoch := s.cluster.Epoch(sh.machine)
-			if err := lstoreRecord(t, sh, slot, key, val); err != nil {
+			if err := lstoreRecord(t, sh, slot, r); err != nil {
 				return err
 			}
-			if err := s.gpf(sh, t); err != nil {
+			if err := s.gpf(sh, t, s.migrating); err != nil {
 				return err
 			}
 			if s.cluster.Epoch(sh.machine) == epoch {
@@ -294,7 +412,7 @@ func (s *Store) writeRecord(sh *shard, slot int, key, val core.Val) error {
 		if sh.pending == 0 {
 			sh.batchE = s.cluster.Epoch(sh.machine)
 		}
-		if err := lstoreRecord(t, sh, slot, key, val); err != nil {
+		if err := lstoreRecord(t, sh, slot, r); err != nil {
 			return err
 		}
 		sh.pending++
@@ -305,9 +423,9 @@ func (s *Store) writeRecord(sh *shard, slot int, key, val core.Val) error {
 
 // lstoreRecord writes the record at slot into the worker's cache (visible,
 // not yet durable) — the batched strategies' enqueue and re-issue path.
-func lstoreRecord(t *memsim.Thread, sh *shard, slot int, key, val core.Val) error {
+func lstoreRecord(t *memsim.Thread, sh *shard, slot int, r rec) error {
 	locs := [recWords]core.LocID{sh.keyLoc(slot), sh.valLoc(slot), sh.chkLoc(slot)}
-	vals := [recWords]core.Val{key, val, chkOf(slot, key, val)}
+	vals := [recWords]core.Val{r.key, r.val, r.chk(slot)}
 	for i, l := range locs {
 		if err := t.LStore(l, vals[i]); err != nil {
 			return err
@@ -320,8 +438,11 @@ func lstoreRecord(t *memsim.Thread, sh *shard, slot int, key, val core.Val) erro
 // its cost to every other shard: a GPF drains every cache in the system,
 // so the whole fabric stalls for its duration regardless of which shard
 // triggered it. sh itself is charged by its caller's elapsed-span
-// accounting, which contains this call.
-func (s *Store) gpf(sh *shard, t *memsim.Thread) error {
+// accounting, which contains this call. When the GPF serves churn work
+// (crash recovery, bucket migration) rather than client traffic, the
+// cross-charge is classified as churn on the stalled shards too, keeping
+// the placement-skew metric clean of it.
+func (s *Store) gpf(sh *shard, t *memsim.Thread, churn bool) error {
 	start := s.cluster.NowNS()
 	if err := t.GPF(); err != nil {
 		return err
@@ -330,6 +451,9 @@ func (s *Store) gpf(sh *shard, t *memsim.Thread) error {
 	for _, other := range s.shards {
 		if other != sh {
 			other.busyNS += cost
+			if churn {
+				other.churnNS += cost
+			}
 		}
 	}
 	return nil
@@ -347,9 +471,12 @@ func (s *Store) rflushSlots(sh *shard, t *memsim.Thread, first, limit int) error
 	return t.RFlushRange(sh.keyLoc(first), (limit-first)*recWords)
 }
 
-// commitLocked flushes shard sh's open batch (GroupCommit or RangedCommit)
-// and acknowledges its writes.
-func (s *Store) commitLocked(sh *shard) error {
+// flushPending makes shard sh's open batch durable — one GPF or one ranged
+// flush over the batch's log lines, with the epoch-guarded re-issue — and
+// advances the acked log position, without any client-acknowledgment
+// bookkeeping. commitLocked layers that on top; bucket migration calls
+// this directly for its copied records (which are not client writes).
+func (s *Store) flushPending(sh *shard) error {
 	if sh.pending == 0 {
 		return nil
 	}
@@ -357,6 +484,7 @@ func (s *Store) commitLocked(sh *shard) error {
 		return ErrShardDown
 	}
 	t := sh.thread()
+	fstart := s.cluster.NowNS()
 	for {
 		epoch := s.cluster.Epoch(sh.machine)
 		if epoch != sh.batchE {
@@ -365,7 +493,7 @@ func (s *Store) commitLocked(sh *shard) error {
 			// cached remotely. Records are unacknowledged, so re-issuing
 			// them is sound.
 			for slot := len(sh.log) - sh.pending; slot < len(sh.log); slot++ {
-				if err := lstoreRecord(t, sh, slot, sh.log[slot].key, sh.log[slot].val); err != nil {
+				if err := lstoreRecord(t, sh, slot, sh.log[slot]); err != nil {
 					return err
 				}
 			}
@@ -376,7 +504,7 @@ func (s *Store) commitLocked(sh *shard) error {
 		if s.cfg.Strategy == RangedCommit {
 			err = s.rflushSlots(sh, t, len(sh.log)-sh.pending, len(sh.log))
 		} else {
-			err = s.gpf(sh, t)
+			err = s.gpf(sh, t, s.migrating)
 		}
 		if err != nil {
 			return err
@@ -385,13 +513,45 @@ func (s *Store) commitLocked(sh *shard) error {
 			break
 		}
 	}
-	now := s.cluster.NowNS()
+	// Attribute the flush cost to the committed client records' buckets,
+	// evenly — so the rebalancer sees a bucket's true load including its
+	// share of commit cost, not just its write path. Migration flushes
+	// (markers and copies) attribute nothing: their cost is churn.
+	var batchKeys []core.Val
 	for slot := len(sh.log) - sh.pending; slot < len(sh.log); slot++ {
-		sh.writeLat = append(sh.writeLat, now-sh.log[slot].startNS)
+		if r := sh.log[slot]; !r.move && !r.copied {
+			batchKeys = append(batchKeys, r.key)
+		}
+	}
+	if cost := s.cluster.NowNS() - fstart; cost > 0 && len(batchKeys) > 0 {
+		per := cost / float64(len(batchKeys))
+		for _, k := range batchKeys {
+			s.bucketWin[s.bucketOf(k)] += per
+		}
 	}
 	sh.acked = len(sh.log)
 	sh.pending = 0
 	s.commits++
+	return nil
+}
+
+// commitLocked flushes shard sh's open batch (GroupCommit or RangedCommit)
+// and acknowledges its client writes.
+func (s *Store) commitLocked(sh *shard) error {
+	if sh.pending == 0 {
+		return nil
+	}
+	first := len(sh.log) - sh.pending
+	if err := s.flushPending(sh); err != nil {
+		return err
+	}
+	now := s.cluster.NowNS()
+	for slot := first; slot < len(sh.log); slot++ {
+		if r := sh.log[slot]; !r.move && !r.copied {
+			sh.writeLat = append(sh.writeLat, now-r.startNS)
+			s.ackedWrites++
+		}
+	}
 	return nil
 }
 
@@ -405,19 +565,25 @@ func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	}
 	slot := len(sh.log)
 	start := s.cluster.NowNS()
-	if err := s.writeRecord(sh, slot, key, val); err != nil {
+	r := rec{key: key, val: val, startNS: start}
+	if err := s.writeRecord(sh, slot, r); err != nil {
 		return Ack{}, err
 	}
-	sh.log = append(sh.log, rec{key: key, val: val, startNS: start})
+	sh.log = append(sh.log, r)
 	if val == 0 {
 		delete(sh.index, key)
 	} else {
 		sh.index[key] = slot
 	}
+	// The write path's cost is this key's bucket's load; a batch commit
+	// triggered below is shared cost, attributed to the whole batch's
+	// buckets by flushPending.
+	s.bucketWin[s.bucketOf(key)] += s.cluster.NowNS() - start
 	durable := s.cfg.Strategy.Durable()
 	if durable {
 		sh.acked = len(sh.log)
 		sh.writeLat = append(sh.writeLat, s.cluster.NowNS()-start)
+		s.ackedWrites++
 	} else if sh.pending >= s.cfg.Batch {
 		if err := s.commitLocked(sh); err != nil {
 			return Ack{}, err
@@ -437,7 +603,7 @@ func (s *Store) Put(key, val core.Val) (Ack, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.puts++
-	return s.append(s.shards[s.ShardOf(key)], key, val)
+	return s.append(s.shards[s.shardOf(key)], key, val)
 }
 
 // Delete removes key by appending a tombstone record.
@@ -448,7 +614,7 @@ func (s *Store) Delete(key core.Val) (Ack, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.deletes++
-	return s.append(s.shards[s.ShardOf(key)], key, 0)
+	return s.append(s.shards[s.shardOf(key)], key, 0)
 }
 
 // Get returns the value mapped to key. The index probe is free (a
@@ -461,7 +627,7 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gets++
-	sh := s.shards[s.ShardOf(key)]
+	sh := s.shards[s.shardOf(key)]
 	if sh.down {
 		return 0, false, ErrShardDown
 	}
@@ -471,7 +637,9 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 	}
 	start := s.cluster.NowNS()
 	v, err := sh.thread().Load(sh.valLoc(slot))
-	sh.busyNS += s.cluster.NowNS() - start
+	span := s.cluster.NowNS() - start
+	sh.busyNS += span
+	s.bucketWin[s.bucketOf(key)] += span
 	if err != nil {
 		return 0, false, err
 	}
@@ -491,11 +659,13 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	}
 	var cands []cand
 	for _, sh := range s.shards {
-		if sh.down {
-			return nil, ErrShardDown
-		}
 		for k, slot := range sh.index {
 			if k >= lo && k < hi {
+				// A down shard only fails the scan when it actually holds
+				// keys in range; an idle down shard costs nothing.
+				if sh.down {
+					return nil, ErrShardDown
+				}
 				cands = append(cands, cand{key: k, slot: slot, sh: sh})
 			}
 		}
@@ -508,7 +678,9 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	for _, c := range cands {
 		start := s.cluster.NowNS()
 		v, err := c.sh.thread().Load(c.sh.valLoc(c.slot))
-		c.sh.busyNS += s.cluster.NowNS() - start
+		span := s.cluster.NowNS() - start
+		c.sh.busyNS += span
+		s.bucketWin[s.bucketOf(c.key)] += span
 		if err != nil {
 			return nil, err
 		}
@@ -542,9 +714,48 @@ func (s *Store) Sync() error {
 func (s *Store) Crash(i int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.crashLocked(i)
+}
+
+// crashLocked is Crash without the lock — shared with the migration test
+// hook, which runs while the store lock is already held.
+func (s *Store) crashLocked(i int) {
 	sh := s.shards[i]
 	s.cluster.Crash(sh.machine)
 	sh.down = true
+}
+
+// replayRecord applies one log record to an index under the move-marker
+// wipe rule: a marker for bucket b supersedes every earlier record of b
+// in the log — either the bucket moved away (move-out), or it moved
+// (back) in and the copies following the marker carry its authoritative
+// state (move-in). Without the wipe, a key deleted while its bucket lived
+// elsewhere could resurrect from a pre-migration record. onlyBucket >= 0
+// restricts the replay to that bucket's records (the redo re-index path);
+// -1 replays everything (recovery's full index rebuild). Both crash-path
+// call sites must agree on these semantics exactly, which is why they
+// share this one implementation.
+func (s *Store) replayRecord(index map[core.Val]int, slot int, r rec, onlyBucket int) {
+	if r.move {
+		b := int(r.key)
+		if onlyBucket >= 0 && b != onlyBucket {
+			return
+		}
+		for k := range index {
+			if s.bucketOf(k) == b {
+				delete(index, k)
+			}
+		}
+		return
+	}
+	if onlyBucket >= 0 && s.bucketOf(r.key) != onlyBucket {
+		return
+	}
+	if r.val == 0 {
+		delete(index, r.key)
+	} else {
+		index[r.key] = slot
+	}
 }
 
 // Recover restarts shard i after a crash: it scans the shard's log from
@@ -553,7 +764,9 @@ func (s *Store) Crash(i int) {
 // unacknowledged batched writes, and re-persists the recovered prefix —
 // with one GPF, or under RangedCommit with one ranged flush over the
 // shard's own recovered log lines, so even recovery stays off the rest of
-// the fabric.
+// the fabric. Bucket-migration markers found in the log drive the wipe,
+// redo and ownership rules that keep the shard map crash-consistent (see
+// migrate.go and docs/rebalancing.md).
 func (s *Store) Recover(i int) (RecoveryStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -571,10 +784,12 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 	start := s.cluster.NowNS()
 
 	// Scan: accept records until the first one whose checksum does not
-	// match its content. Acknowledged records are all durable, so the cut
-	// can only fall in the unacknowledged tail.
+	// match its content in either domain (client records validate under
+	// chkOf, move markers under moveChkOf). Acknowledged records are all
+	// durable, so the cut can only fall in the unacknowledged tail.
 	cut := 0
 	scanned := make([]rec, 0, appended)
+scan:
 	for slot := 0; slot < appended; slot++ {
 		k, err := t.Load(sh.keyLoc(slot))
 		if err != nil {
@@ -588,11 +803,26 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 		if err != nil {
 			return RecoveryStats{}, err
 		}
-		if chk != chkOf(slot, k, v) {
-			break
+		r := rec{key: k, val: v}
+		switch chk {
+		case chkOf(slot, k, v):
+		case moveChkOf(slot, k, v):
+			r.move = true
+		default:
+			break scan
 		}
-		scanned = append(scanned, rec{key: k, val: v})
+		scanned = append(scanned, r)
 		cut = slot + 1
+	}
+
+	// A cut inside the acknowledged prefix means an acknowledged — and
+	// therefore durable — record failed to validate. No crash can cause
+	// that while the strategies keep their contract, so it is reported as
+	// a durability violation rather than silently truncated away.
+	if cut < ackedBefore {
+		return RecoveryStats{}, fmt.Errorf(
+			"%w: shard %d validated only %d of %d acknowledged records",
+			ErrDurabilityViolation, i, cut, ackedBefore)
 	}
 
 	// Truncate: invalidate the checksum words of the lost tail so a
@@ -621,36 +851,113 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 				return RecoveryStats{}, err
 			}
 		} else {
-			if err := s.gpf(sh, t); err != nil {
+			if err := s.gpf(sh, t, true); err != nil {
 				return RecoveryStats{}, err
 			}
 		}
 	}
 
-	// Rebuild the index from what the scan actually read.
-	sh.index = map[core.Val]int{}
-	for slot, r := range scanned {
-		if r.val == 0 {
-			delete(sh.index, r.key)
-		} else {
-			sh.index[r.key] = slot
+	// Classify orphaned move-out markers before rebuilding anything: a
+	// client record of the marker's bucket *after* the marker proves this
+	// shard kept serving the bucket — the migration failed in phase 2
+	// with its commit record durable but the map never flipped, and
+	// writes acknowledged since supersede the destination's (now stale)
+	// copies. Such a marker has no authority at all: it must neither
+	// wipe this log's earlier bucket records during the index rebuild
+	// (they are still the live state) nor redo the flip (that would
+	// resurrect the stale copies over acknowledged data). In the genuine
+	// lost-flip case nothing can follow the marker: the migration holds
+	// the store lock from commit point to flip.
+	superseded := make([]bool, len(scanned))
+	for idx, r := range scanned {
+		if !r.move {
+			continue
+		}
+		ver, out, _ := decodeMove(r.val, len(s.shards))
+		if ver > s.moveSeq {
+			// Redundant today — every scanned marker was written by this
+			// Store instance under the lock, so ver <= moveSeq always —
+			// but a future front-end-restart path (ROADMAP) that rebuilds
+			// the map from shard logs must treat every logged version as
+			// spent, and this loop is where that contract lives.
+			s.moveSeq = ver
+		}
+		if !out {
+			continue
+		}
+		b := int(r.key)
+		for _, later := range scanned[idx+1:] {
+			if !later.move && s.bucketOf(later.key) == b {
+				superseded[idx] = true
+				break
+			}
 		}
 	}
-	// Pending GroupCommit records occupy the log's tail; the ones the
-	// scan reached were recovered (and are durable after the GPF above),
-	// so they count as acknowledged — at a submit-to-durable latency
-	// spanning the crash. Only those beyond the cut are discarded.
+
+	// Rebuild the index from what the scan actually read, under the
+	// move-marker wipe rule (see replayRecord); superseded markers are
+	// inert.
+	sh.index = map[core.Val]int{}
+	for slot, r := range scanned {
+		if superseded[slot] {
+			continue
+		}
+		s.replayRecord(sh.index, slot, r, -1)
+	}
+
+	// Redo: a durable move-out record is a migration's commit point. One
+	// newer than the applied map state means the flip was lost between
+	// the commit point and the in-memory map update; complete it now so
+	// ownership is resolved from the log, deterministically.
+	for idx, r := range scanned {
+		if !r.move || superseded[idx] {
+			continue
+		}
+		b := int(r.key)
+		ver, out, to := decodeMove(r.val, len(s.shards))
+		if !out || ver <= s.bucketVer[b] {
+			continue
+		}
+		s.shardMap[b] = to
+		s.bucketVer[b] = ver
+		// Reindex the destination even when it is down: the copies the
+		// flip lands on are durable (committed before the move-out), so
+		// these mirror-derived entries are exactly what its own Recover
+		// will rebuild — and until then they let Scan see that a down
+		// shard holds keys in range instead of silently omitting them.
+		s.reindexBucket(s.shards[to], b)
+	}
+
+	// Ownership sweep: drop index entries for buckets this shard no
+	// longer serves — records that migrated away, and orphaned copies an
+	// aborted inbound migration left in the log.
+	for k := range sh.index {
+		if s.shardOf(k) != sh.id {
+			delete(sh.index, k)
+		}
+	}
+
+	// Pending batched records occupy the log's tail; the client writes
+	// among those the scan reached were recovered (and are durable after
+	// the flush above), so they count as acknowledged — at a submit-to-
+	// durable latency spanning the crash. Everything beyond the cut is
+	// discarded; the durability check above already guaranteed the cut is
+	// at or past the acknowledged prefix, so the lost records are exactly
+	// the unacknowledged tail.
 	droppedPending := 0
 	pendingStart := appended - sh.pending
 	now := s.cluster.NowNS()
-	for slot := pendingStart; slot < cut && slot < appended; slot++ {
-		sh.writeLat = append(sh.writeLat, now-sh.log[slot].startNS)
+	for slot := pendingStart; slot < cut; slot++ {
+		if r := sh.log[slot]; !r.move && !r.copied {
+			sh.writeLat = append(sh.writeLat, now-r.startNS)
+			s.ackedWrites++
+		}
 	}
-	if cut < appended {
-		if pendingStart > cut {
-			droppedPending = appended - pendingStart
-		} else {
-			droppedPending = appended - cut
+	for slot := cut; slot < appended; slot++ {
+		// Lost migration markers and copies are not client writes; only
+		// dropped client records count, mirroring the salvage loop above.
+		if r := sh.log[slot]; !r.move && !r.copied {
+			droppedPending++
 		}
 	}
 	sh.log = sh.log[:cut]
@@ -664,6 +971,7 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 
 	simNS := s.cluster.NowNS() - start
 	sh.busyNS += simNS
+	sh.churnNS += simNS
 	s.dropped += uint64(droppedPending)
 	s.recoveries++
 	s.recoveryNS = append(s.recoveryNS, simNS)
@@ -681,19 +989,22 @@ func (s *Store) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		Puts:           s.puts,
-		Gets:           s.gets,
-		Deletes:        s.deletes,
-		Scans:          s.scans,
-		ScannedPairs:   s.scannedPairs,
-		Commits:        s.commits,
-		DroppedPending: s.dropped,
-		Recoveries:     s.recoveries,
-		RecoveryNS:     append([]float64(nil), s.recoveryNS...),
+		Puts:            s.puts,
+		Gets:            s.gets,
+		Deletes:         s.deletes,
+		Scans:           s.scans,
+		ScannedPairs:    s.scannedPairs,
+		Commits:         s.commits,
+		Acked:           s.ackedWrites,
+		DroppedPending:  s.dropped,
+		Recoveries:      s.recoveries,
+		Migrations:      s.migrations,
+		MigratedRecords: s.migratedRecords,
+		RecoveryNS:      append([]float64(nil), s.recoveryNS...),
 	}
 	for _, sh := range s.shards {
-		m.Acked += uint64(sh.acked)
 		m.PerShardBusyNS = append(m.PerShardBusyNS, sh.busyNS)
+		m.PerShardChurnNS = append(m.PerShardChurnNS, sh.churnNS)
 		m.WriteLatencies = append(m.WriteLatencies, sh.writeLat...)
 	}
 	return m
@@ -707,9 +1018,17 @@ func (s *Store) ResetMetrics() {
 	defer s.mu.Unlock()
 	s.puts, s.gets, s.deletes, s.scans = 0, 0, 0, 0
 	s.scannedPairs, s.commits, s.dropped, s.recoveries = 0, 0, 0, 0
+	s.ackedWrites, s.migrations, s.migratedRecords = 0, 0, 0
 	s.recoveryNS = nil
 	for _, sh := range s.shards {
 		sh.busyNS = 0
+		sh.churnNS = 0
 		sh.writeLat = nil
+	}
+	for i := range s.winBase {
+		s.winBase[i] = 0
+	}
+	for b := range s.bucketWin {
+		s.bucketWin[b] = 0
 	}
 }

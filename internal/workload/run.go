@@ -23,6 +23,9 @@ type Options struct {
 	// CrashEvery injects one crash+recover cycle (rotating over shards)
 	// every CrashEvery measured operations; 0 disables crash churn.
 	CrashEvery int
+	// RebalanceEvery calls the store's load-aware rebalancer every
+	// RebalanceEvery measured operations; 0 keeps the static shard map.
+	RebalanceEvery int
 	// Seed drives the operation stream.
 	Seed int64
 }
@@ -62,6 +65,16 @@ type Result struct {
 	P99NS float64 `json:"p99_ns"`
 	MaxNS float64 `json:"max_ns"`
 
+	// Load balance. MaxMeanBusy is the busiest shard's busy time over the
+	// mean — the skew metric: the makespan exceeds a perfectly balanced
+	// service's by this factor. RebalanceEvery echoes the knob (0 =
+	// static shard map); Migrations and MigratedRecords count the
+	// rebalancer's bucket moves and the live records they copied.
+	MaxMeanBusy     float64 `json:"max_mean_busy"`
+	RebalanceEvery  int     `json:"rebalance_every"`
+	Migrations      int     `json:"migrations"`
+	MigratedRecords int     `json:"migrated_records"`
+
 	// Crash churn.
 	Recoveries     int     `json:"recoveries"`
 	RecoveryMeanNS float64 `json:"recovery_mean_ns,omitempty"`
@@ -88,8 +101,12 @@ func Run(o Options) (Result, error) {
 	if cfg.Capacity <= 0 {
 		// Worst case: every measured op appends one record, all to one
 		// shard, on top of the preload; recovery truncation reuses slots,
-		// so this bound holds across crash churn too.
+		// so this bound holds across crash churn too. Rebalancing appends
+		// migrated copies and move markers on top — double the log.
 		cfg.Capacity = o.Spec.Keys + o.Ops + 8
+		if o.RebalanceEvery > 0 {
+			cfg.Capacity *= 2
+		}
 	}
 	st, err := kv.Open(cfg)
 	if err != nil {
@@ -116,6 +133,8 @@ func Run(o Options) (Result, error) {
 		Colocate: cfg.Colocate,
 		Seed:     o.Seed,
 		Ops:      o.Ops,
+
+		RebalanceEvery: o.RebalanceEvery,
 	}
 	if cfg.Strategy.Batched() {
 		res.Batch = cfg.Batch
@@ -137,6 +156,11 @@ func Run(o Options) (Result, error) {
 				return Result{}, fmt.Errorf("recover shard %d: %w", shard, err)
 			}
 			recoveryLost += stats.Lost
+		}
+		if o.RebalanceEvery > 0 && i > 0 && i%o.RebalanceEvery == 0 {
+			if _, err := st.Rebalance(); err != nil {
+				return Result{}, fmt.Errorf("rebalance at op %d: %w", i, err)
+			}
 		}
 		op := gen.Next()
 		cl := st.Cluster()
@@ -187,6 +211,9 @@ func Run(o Options) (Result, error) {
 	res.RecordsLost = recoveryLost
 	res.DroppedPending = int(m.DroppedPending)
 	res.Commits = m.Commits
+	res.MaxMeanBusy = m.MaxMeanBusyRatio()
+	res.Migrations = int(m.Migrations)
+	res.MigratedRecords = int(m.MigratedRecords)
 	for _, r := range m.RecoveryNS {
 		res.RecoveryMeanNS += r
 		if r > res.RecoveryMaxNS {

@@ -139,6 +139,43 @@ func TestRunReproducible(t *testing.T) {
 	}
 }
 
+// TestRunRebalanced: under the zipfian update-heavy mix, enabling the
+// rebalance knob must actually migrate buckets and lower the max/mean
+// busy-share skew against the identical static run.
+func TestRunRebalanced(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 120
+	run := func(rebalanceEvery int) Result {
+		res, err := Run(Options{
+			Spec:           spec,
+			Store:          kv.Config{Shards: 4, Strategy: kv.RangedCommit, Batch: 8},
+			Ops:            1200,
+			RebalanceEvery: rebalanceEvery,
+			Seed:           6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	static := run(0)
+	reb := run(150)
+	if static.MaxMeanBusy <= 1 {
+		t.Fatalf("static zipfian run reports no skew: max/mean = %.2f", static.MaxMeanBusy)
+	}
+	if static.Migrations != 0 || reb.RebalanceEvery != 150 {
+		t.Fatalf("knob bookkeeping off: static %d migrations, rebalanced echoes %d",
+			static.Migrations, reb.RebalanceEvery)
+	}
+	if reb.Migrations == 0 || reb.MigratedRecords == 0 {
+		t.Fatalf("rebalanced run migrated nothing: %+v", reb)
+	}
+	if reb.MaxMeanBusy >= static.MaxMeanBusy {
+		t.Fatalf("rebalancing did not reduce skew: %.2f static, %.2f rebalanced",
+			static.MaxMeanBusy, reb.MaxMeanBusy)
+	}
+}
+
 func TestGroupCommitBeatsPerOpGPF(t *testing.T) {
 	spec, _ := YCSB("A")
 	spec.Keys = 60
