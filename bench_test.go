@@ -306,6 +306,39 @@ func BenchmarkKVGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkKVPooledClusters verifies and tracks the multi-cluster
+// pooling claim: the same traffic over 4 pooled clusters (behind the
+// pool.Router, driven through the kv.DB interface) beats the 1-cluster
+// makespan.
+func BenchmarkKVPooledClusters(b *testing.B) {
+	spec, err := workload.YCSB("A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Keys = 120
+	run := func(clusters int) workload.Result {
+		res, err := workload.Run(workload.Options{
+			Spec:     spec,
+			Store:    kv.Config{Shards: 2, Strategy: kv.RangedCommit, Batch: 16},
+			Clusters: clusters,
+			Ops:      400,
+			Seed:     5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = run(4).ThroughputOpsPerSec / run(1).ThroughputOpsPerSec
+	}
+	b.ReportMetric(speedup, "pooled-4cl-speedup")
+	if speedup <= 1 {
+		b.Fatalf("4-cluster pool speedup %.2fx <= 1x over one cluster", speedup)
+	}
+}
+
 // BenchmarkKVRecovery tracks shard crash-recovery time on the simulated
 // clock.
 func BenchmarkKVRecovery(b *testing.B) {

@@ -1,12 +1,14 @@
 // Command cxl0-bench runs the KV service benchmark matrix: YCSB-style
-// workloads × persistence strategies × shard counts × hardware variants,
-// all on the simulated CXL clock. It prints a result table and writes a
-// machine-readable BENCH_kv.json capturing the repo's performance
-// trajectory.
+// workloads × persistence strategies × shard counts × cluster counts ×
+// hardware variants, all on the simulated CXL clock. It drives the kv.DB
+// interface — a single cluster-backed store, or a pool.Router over
+// several clusters for the pooled rows — prints a result table and
+// writes a machine-readable BENCH_kv.json capturing the repo's
+// performance trajectory.
 //
 // Example:
 //
-//	go run ./cmd/cxl0-bench -ops 2000 -workloads A,E -shards 1,4
+//	go run ./cmd/cxl0-bench -ops 2000 -workloads A,E -shards 1,4 -clusters 1,2
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -42,6 +45,7 @@ type benchConfig struct {
 	Workloads      []string `json:"workloads"`
 	Strategies     []string `json:"strategies"`
 	Shards         []int    `json:"shards"`
+	Clusters       []int    `json:"clusters"`
 	Variants       []string `json:"variants"`
 }
 
@@ -72,8 +76,24 @@ type headline struct {
 	RebalancedMaxMeanBusy float64 `json:"rebalanced_max_mean_busy"`
 	ImbalanceConfig       string  `json:"imbalance_config"`
 	RebalanceSpeedup      float64 `json:"rebalance_speedup"`
-	BestThroughput        float64 `json:"best_throughput_ops_per_sec"`
-	BestConfig            string  `json:"best_config"`
+	// PooledThroughputScaling is the multi-cluster pooling claim: for
+	// each pooled cluster count in the matrix, the throughput speedup of
+	// the pooled service over the identical 1-cluster configuration,
+	// averaged over every matched workload/strategy/shards/variant combo
+	// (and the best single pairing). Clusters share nothing, so the
+	// speedup is capacity scaling, not batching.
+	PooledThroughputScaling []pooledScale `json:"pooled_throughput_scaling,omitempty"`
+	BestThroughput          float64       `json:"best_throughput_ops_per_sec"`
+	BestConfig              string        `json:"best_config"`
+}
+
+// pooledScale is one cluster count's pooling speedup over the matched
+// 1-cluster rows.
+type pooledScale struct {
+	Clusters    int     `json:"clusters"`
+	MeanSpeedup float64 `json:"mean_speedup"`
+	BestSpeedup float64 `json:"best_speedup"`
+	BestConfig  string  `json:"best_config"`
 }
 
 func main() {
@@ -86,7 +106,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	workloadsF := flag.String("workloads", "A,E", "comma-separated YCSB workloads (A,B,C,D,E)")
 	strategiesF := flag.String("strategies", "mstore,flush,gpf,group,ranged", "comma-separated persistence strategies")
-	shardsF := flag.String("shards", "1,4,12", "comma-separated shard counts")
+	shardsF := flag.String("shards", "1,4,12", "comma-separated per-cluster shard counts")
+	clustersF := flag.String("clusters", "1,2,4", "comma-separated pooled cluster counts (rows with >1 pool that many clusters behind a router)")
 	variantsF := flag.String("variants", "base,psn", "comma-separated hardware variants (base,psn,lwb)")
 	colocate := flag.Bool("colocate", false, "bind shard workers to the shard's machine")
 	out := flag.String("out", "BENCH_kv.json", "output JSON path (empty disables)")
@@ -101,21 +122,21 @@ func main() {
 		spec.Keys = *keys
 		specs = append(specs, spec)
 	}
-	var strategies []kv.Strategy
-	for _, name := range strings.Split(*strategiesF, ",") {
-		s, err := kv.ParseStrategy(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
-		}
-		strategies = append(strategies, s)
+	// Validate the whole strategy list up front — unknown names and
+	// duplicates both fail here with the full picture, not 90 seconds
+	// into the matrix (duplicates would silently run rows twice and
+	// corrupt the headline comparisons).
+	strategies, err := parseStrategies(*strategiesF)
+	if err != nil {
+		fatal(err)
 	}
-	var shardCounts []int
-	for _, s := range strings.Split(*shardsF, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			fatal(fmt.Errorf("bad shard count %q", s))
-		}
-		shardCounts = append(shardCounts, n)
+	shardCounts, err := parseCounts(*shardsF, "shard")
+	if err != nil {
+		fatal(err)
+	}
+	clusterCounts, err := parseCounts(*clustersF, "cluster")
+	if err != nil {
+		fatal(err)
 	}
 	var variants []core.Variant
 	for _, name := range strings.Split(*variantsF, ",") {
@@ -133,50 +154,57 @@ func main() {
 
 	fmt.Printf("KV service benchmark: %d ops/config, %d keys, batch %d, crash every %d ops, rebalance every %d ops\n",
 		*ops, *keys, *batch, *crashEvery, *rebalanceEvery)
-	fmt.Printf("%-4s %-8s %7s %-9s %3s %14s %12s %10s %10s %6s %5s\n",
-		"wl", "strategy", "shards", "variant", "rb", "ops/sec(sim)", "p50 ns", "p99 ns", "rcvry ns", "mx/mn", "migr")
+	fmt.Printf("%-4s %-8s %7s %3s %-9s %3s %14s %12s %10s %10s %6s %5s\n",
+		"wl", "strategy", "shards", "cl", "variant", "rb", "ops/sec(sim)", "p50 ns", "p99 ns", "rcvry ns", "mx/mn", "migr")
 
 	var results []workload.Result
-	for _, spec := range specs {
-		for _, variant := range variants {
-			for _, nShards := range shardCounts {
-				for _, strat := range strategies {
-					// One static-routing row per configuration; for every
-					// multi-shard configuration also a row with the online
-					// rebalancer enabled, so the report carries the skew
-					// comparison the headline summarizes.
-					rebalances := []int{0}
-					if *rebalanceEvery > 0 && nShards > 1 {
-						rebalances = append(rebalances, *rebalanceEvery)
-					}
-					for _, rb := range rebalances {
-						res, err := workload.Run(workload.Options{
-							Spec: spec,
-							Store: kv.Config{
-								Shards:     nShards,
-								Strategy:   strat,
-								Batch:      *batch,
-								Variant:    variant,
-								EvictEvery: *evictEvery,
-								Colocate:   *colocate,
-							},
-							Ops:            *ops,
-							CrashEvery:     *crashEvery,
-							RebalanceEvery: rb,
-							Seed:           *seed,
-						})
-						if err != nil {
-							fatal(fmt.Errorf("%s/%v/%d/%v/rb=%d: %w", spec.Name, strat, nShards, variant, rb, err))
+	for _, clusters := range clusterCounts {
+		for _, spec := range specs {
+			for _, variant := range variants {
+				for _, nShards := range shardCounts {
+					for _, strat := range strategies {
+						// One static-routing row per configuration; for every
+						// single-cluster multi-shard configuration also a row
+						// with the online rebalancer enabled, so the report
+						// carries the skew comparison the headline
+						// summarizes. Pooled rows stay static: rebalancing is
+						// cluster-local machinery already measured at one
+						// cluster, and the pooled rows exist to isolate the
+						// capacity-scaling claim.
+						rebalances := []int{0}
+						if *rebalanceEvery > 0 && nShards > 1 && clusters == 1 {
+							rebalances = append(rebalances, *rebalanceEvery)
 						}
-						results = append(results, res)
-						mark := " "
-						if rb > 0 {
-							mark = "+"
+						for _, rb := range rebalances {
+							res, err := workload.Run(workload.Options{
+								Spec: spec,
+								Store: kv.Config{
+									Shards:     nShards,
+									Strategy:   strat,
+									Batch:      *batch,
+									Variant:    variant,
+									EvictEvery: *evictEvery,
+									Colocate:   *colocate,
+								},
+								Clusters:       clusters,
+								Ops:            *ops,
+								CrashEvery:     *crashEvery,
+								RebalanceEvery: rb,
+								Seed:           *seed,
+							})
+							if err != nil {
+								fatal(fmt.Errorf("%s/%v/%d/%dcl/%v/rb=%d: %w", spec.Name, strat, nShards, clusters, variant, rb, err))
+							}
+							results = append(results, res)
+							mark := " "
+							if rb > 0 {
+								mark = "+"
+							}
+							fmt.Printf("%-4s %-8s %7d %3d %-9s %3s %14.0f %12.0f %10.0f %10.0f %6.2f %5d\n",
+								res.Workload, res.Strategy, res.Shards, res.Clusters, res.Variant, mark,
+								res.ThroughputOpsPerSec, res.P50NS, res.P99NS, res.RecoveryMeanNS,
+								res.MaxMeanBusy, res.Migrations)
 						}
-						fmt.Printf("%-4s %-8s %7d %-9s %3s %14.0f %12.0f %10.0f %10.0f %6.2f %5d\n",
-							res.Workload, res.Strategy, res.Shards, res.Variant, mark,
-							res.ThroughputOpsPerSec, res.P50NS, res.P99NS, res.RecoveryMeanNS,
-							res.MaxMeanBusy, res.Migrations)
 					}
 				}
 			}
@@ -201,6 +229,10 @@ func main() {
 		fmt.Printf("headline: rebalancing cuts workload A max/mean shard busy %.2fx -> %.2fx at %.2fx the static throughput (%s)\n",
 			head.StaticMaxMeanBusy, head.RebalancedMaxMeanBusy, head.RebalanceSpeedup, head.ImbalanceConfig)
 	}
+	for _, ps := range head.PooledThroughputScaling {
+		fmt.Printf("headline: pooling %d clusters is %.2fx the 1-cluster throughput on average (best %.2fx at %s)\n",
+			ps.Clusters, ps.MeanSpeedup, ps.BestSpeedup, ps.BestConfig)
+	}
 	if head.BestConfig != "" {
 		fmt.Printf("best throughput: %.0f sim ops/sec (%s)\n", head.BestThroughput, head.BestConfig)
 	}
@@ -213,7 +245,7 @@ func main() {
 				Ops: *ops, Keys: *keys, Batch: *batch, CrashEvery: *crashEvery,
 				EvictEvery: *evictEvery, RebalanceEvery: *rebalanceEvery, Seed: *seed,
 				Workloads: strings.Split(*workloadsF, ","), Strategies: strings.Split(*strategiesF, ","),
-				Shards: shardCounts, Variants: strings.Split(*variantsF, ","),
+				Shards: shardCounts, Clusters: clusterCounts, Variants: strings.Split(*variantsF, ","),
 			},
 			Results:  results,
 			Headline: head,
@@ -241,21 +273,61 @@ func summarize(results []workload.Result, shardCounts []int) headline {
 			maxShards = s
 		}
 	}
-	// strategy/workload/shards/variant -> static-routing result (the
-	// batching and cost-growth claims compare static rows apples to
-	// apples; rebalanced rows feed the skew headline below).
+	// strategy/workload/shards/variant -> 1-cluster static-routing result
+	// (the batching and cost-growth claims compare static single-cluster
+	// rows apples to apples; rebalanced rows feed the skew headline below
+	// and pooled rows the scaling headline).
 	byKey := map[string]workload.Result{}
 	for _, r := range results {
-		if r.RebalanceEvery == 0 {
+		if r.RebalanceEvery == 0 && r.Clusters == 1 {
 			byKey[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)] = r
 		}
 		if r.ThroughputOpsPerSec > head.BestThroughput {
 			head.BestThroughput = r.ThroughputOpsPerSec
 			head.BestConfig = fmt.Sprintf("%s/%s/%d/%s", r.Workload, r.Strategy, r.Shards, r.Variant)
+			if r.Clusters > 1 {
+				head.BestConfig += fmt.Sprintf("/%dclusters", r.Clusters)
+			}
 			if r.RebalanceEvery > 0 {
 				head.BestConfig += "/rebalanced"
 			}
 		}
+	}
+
+	// Pooling claim: for every pooled static row with a matching
+	// 1-cluster static row, the throughput ratio is pure capacity
+	// scaling (same per-cluster configuration, same traffic).
+	poolSum := map[int]float64{}
+	poolN := map[int]int{}
+	poolBest := map[int]pooledScale{}
+	for _, r := range results {
+		if r.Clusters <= 1 || r.RebalanceEvery != 0 {
+			continue
+		}
+		single, ok := byKey[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)]
+		if !ok || single.ThroughputOpsPerSec <= 0 {
+			continue
+		}
+		sp := r.ThroughputOpsPerSec / single.ThroughputOpsPerSec
+		poolSum[r.Clusters] += sp
+		poolN[r.Clusters]++
+		if best := poolBest[r.Clusters]; sp > best.BestSpeedup {
+			poolBest[r.Clusters] = pooledScale{
+				Clusters:    r.Clusters,
+				BestSpeedup: sp,
+				BestConfig:  fmt.Sprintf("%s/%s/%d/%s", r.Workload, r.Strategy, r.Shards, r.Variant),
+			}
+		}
+	}
+	var clusterKeys []int
+	for c := range poolN {
+		clusterKeys = append(clusterKeys, c)
+	}
+	sort.Ints(clusterKeys)
+	for _, c := range clusterKeys {
+		ps := poolBest[c]
+		ps.MeanSpeedup = poolSum[c] / float64(poolN[c])
+		head.PooledThroughputScaling = append(head.PooledThroughputScaling, ps)
 	}
 	// perOp is the mean simulated service cost per operation, with crash-
 	// recovery time excluded: recovery scans shrink with the per-shard log
@@ -281,7 +353,7 @@ func summarize(results []workload.Result, shardCounts []int) headline {
 	const skewTarget = 1.5
 	tamed, bestScore := false, 0.0
 	for _, r := range results {
-		if r.RebalanceEvery == 0 || r.Workload != "A" || r.Shards < 2 {
+		if r.RebalanceEvery == 0 || r.Workload != "A" || r.Shards < 2 || r.Clusters != 1 {
 			continue
 		}
 		static, ok := byKey[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)]
@@ -307,7 +379,7 @@ func summarize(results []workload.Result, shardCounts []int) headline {
 	growthSum := map[string]float64{}
 	growthN := map[string]int{}
 	for _, r := range results {
-		if r.RebalanceEvery > 0 {
+		if r.RebalanceEvery > 0 || r.Clusters != 1 {
 			continue
 		}
 		key := fmt.Sprintf("%s/%d/%s", r.Workload, r.Shards, r.Variant)
@@ -351,6 +423,46 @@ func summarize(results []workload.Result, shardCounts []int) headline {
 		head.RangedPerOpCostGrowth = growthSum[kv.RangedCommit.String()] / float64(n)
 	}
 	return head
+}
+
+// parseStrategies parses and validates the -strategies list in one pass:
+// every name must be a known strategy and no strategy may repeat, so a
+// bad list fails before the first benchmark row runs.
+func parseStrategies(list string) ([]kv.Strategy, error) {
+	var strategies []kv.Strategy
+	seen := map[kv.Strategy]string{}
+	for _, name := range strings.Split(list, ",") {
+		s, err := kv.ParseStrategy(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[s]; dup {
+			return nil, fmt.Errorf("duplicate strategy in -strategies: %q repeats %q (each row would run twice and skew the headlines)",
+				strings.TrimSpace(name), prev)
+		}
+		seen[s] = strings.TrimSpace(name)
+		strategies = append(strategies, s)
+	}
+	return strategies, nil
+}
+
+// parseCounts parses a comma-separated list of positive ints (-shards,
+// -clusters), rejecting malformed entries and duplicates up front.
+func parseCounts(list, what string) ([]int, error) {
+	var counts []int
+	seen := map[int]bool{}
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad %s count %q", what, s)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate %s count %d", what, n)
+		}
+		seen[n] = true
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,34 @@
+package kv_test
+
+import (
+	"testing"
+
+	"cxl0/internal/kv"
+	"cxl0/internal/kv/kvtest"
+)
+
+// TestStoreConformance runs the reusable kv.DB conformance suite against
+// the single-cluster *Store — the same suite pool.Router must pass.
+func TestStoreConformance(t *testing.T) {
+	kvtest.Run(t, func(t *testing.T, cfg kv.Config) kv.DB {
+		t.Helper()
+		st, err := kv.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}
+
+// TestStoreShardFullDiagnosable checks a full shard fails with the
+// structured ShardFullError (shard identity + fill level).
+func TestStoreShardFullDiagnosable(t *testing.T) {
+	kvtest.FullToDiagnosable(t, func(t *testing.T, cfg kv.Config) kv.DB {
+		t.Helper()
+		st, err := kv.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}

@@ -1,0 +1,160 @@
+package kv
+
+import (
+	"fmt"
+
+	"cxl0/internal/core"
+)
+
+// DB is the service surface of the durable KV layer: everything a client
+// or harness needs to drive a key-value service built on the CXL0
+// runtime, independent of how many shards — or how many independent
+// coherence domains — stand behind it. *Store implements DB over one
+// memsim cluster; pool.Router implements it over several pooled clusters.
+// internal/workload and cmd/cxl0-bench drive any DB.
+//
+// The interface splits into a data plane and a control plane. The data
+// plane carries client traffic and follows the acknowledgment contract of
+// the package documentation: Ack.Durable reports persistence at return,
+// batched strategies defer it to the batch's commit point. The control
+// plane injects faults, triggers placement changes and snapshots metrics —
+// in this simulated world, fault injection is part of the service surface,
+// because crash/recovery behaviour is what the layer exists to get right.
+type DB interface {
+	// Put maps key to val (val >= 1), acknowledged per the configured
+	// strategy's ack discipline.
+	Put(key, val core.Val) (Ack, error)
+	// Delete removes key by appending a tombstone record.
+	Delete(key core.Val) (Ack, error)
+	// Get returns the newest value mapped to key.
+	Get(key core.Val) (core.Val, bool, error)
+	// MultiGet looks up a set of keys in one call, returning one Lookup
+	// per key in input order. Implementations amortize routing: the Store
+	// resolves all keys under one lock acquisition, and a Router fans the
+	// keys out to their clusters in per-cluster groups.
+	MultiGet(keys []core.Val) ([]Lookup, error)
+	// Scan returns up to limit live pairs with lo <= key < hi, in global
+	// key order across every shard (and every cluster).
+	Scan(lo, hi core.Val, limit int) ([]Pair, error)
+	// Apply applies a Batch of puts and deletes in order and acknowledges
+	// it with one Ack at its commit point: Apply commits every shard the
+	// batch touched, so on success the whole batch is durable
+	// (Ack.Durable == true) no matter the strategy. Under the batched
+	// strategies this maps a client batch onto group commit directly —
+	// one flush per touched shard instead of one ack boundary per Batch
+	// config records. Apply is an amortization unit, not a transaction:
+	// on error, a prefix of the batch may already be applied (and, once a
+	// later commit covers it, durable).
+	Apply(b *Batch) (Ack, error)
+	// Sync commits every shard's open batch (a no-op under the
+	// per-operation strategies).
+	Sync() error
+
+	// NumShards returns the shard count; a pooled DB reports the total
+	// across clusters and addresses shards by global index (cluster-major:
+	// cluster c's shard i is c*shardsPerCluster + i).
+	NumShards() int
+	// Crash fails shard i's machine; operations routed to it return
+	// ErrShardDown until Recover.
+	Crash(i int)
+	// Recover restarts shard i after a crash, per the recovery procedure
+	// of the package documentation.
+	Recover(i int) (RecoveryStats, error)
+	// Rebalance runs one load-aware rebalance check (shard-map bucket
+	// migration within each cluster; see docs/rebalancing.md).
+	Rebalance() ([]MigrationStats, error)
+	// Metrics snapshots the service counters; a pooled DB aggregates
+	// across clusters (counters summed, per-shard series concatenated in
+	// global shard order).
+	Metrics() Metrics
+	// ResetMetrics zeroes counters and clocks while keeping stored data.
+	ResetMetrics()
+	// NowNS returns the total simulated time consumed so far — one
+	// cluster's clock, or the sum of a pool's independent clocks. Deltas
+	// around an operation measure its simulated cost.
+	NowNS() float64
+}
+
+// Lookup is one MultiGet result.
+type Lookup struct {
+	Key   core.Val `json:"key"`
+	Val   core.Val `json:"val"`
+	Found bool     `json:"found"`
+}
+
+// BatchOp is one operation of a Batch: a put of Val >= 1, or a delete
+// (Val 0, the tombstone value). The kind is tracked explicitly rather
+// than inferred from Val so that an invalid Put(key, 0) stays a put —
+// and fails Apply's validation with ErrBadKey, exactly like Store.Put —
+// instead of silently turning into a delete.
+type BatchOp struct {
+	Key core.Val
+	Val core.Val
+	del bool
+}
+
+// IsDelete reports whether the operation is a delete.
+func (op BatchOp) IsDelete() bool { return op.del }
+
+// Batch is an ordered list of puts and deletes applied as one unit by
+// DB.Apply. Order matters: a put followed by a delete of the same key
+// leaves the key deleted. The zero Batch is empty and ready to use.
+type Batch struct {
+	ops []BatchOp
+}
+
+// Put appends a put of key to val (val >= 1; validated by Apply).
+func (b *Batch) Put(key, val core.Val) *Batch {
+	b.ops = append(b.ops, BatchOp{Key: key, Val: val})
+	return b
+}
+
+// Delete appends a delete of key.
+func (b *Batch) Delete(key core.Val) *Batch {
+	b.ops = append(b.ops, BatchOp{Key: key, del: true})
+	return b
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Ops returns the batch's operations in order. The slice is the batch's
+// own backing store: callers (like a router splitting the batch per
+// cluster) must not mutate it.
+func (b *Batch) Ops() []BatchOp { return b.ops }
+
+// ShardFullError is the concrete error behind ErrShardFull: it identifies
+// the exhausted shard and how full its log is, so a failure deep in a
+// bench matrix names the shard and fill level instead of just "log full".
+// errors.Is(err, ErrShardFull) matches it; errors.As extracts the fields.
+type ShardFullError struct {
+	// Shard is the exhausted shard's index, local to its Store; a pooled
+	// router wraps the error with the owning cluster's identity
+	// ("pool: cluster N: ..."), which together with this names the shard
+	// globally.
+	Shard int
+	// Appended and Capacity are the shard log's current record count and
+	// limit.
+	Appended, Capacity int
+	// Need is how many records the failed operation would have appended.
+	Need int
+}
+
+// Fill returns the shard log's fill fraction in [0, 1].
+func (e *ShardFullError) Fill() float64 {
+	if e.Capacity <= 0 {
+		return 1
+	}
+	return float64(e.Appended) / float64(e.Capacity)
+}
+
+func (e *ShardFullError) Error() string {
+	return fmt.Sprintf("%v: shard %d holds %d/%d records (%.0f%% full), needs %d more slot(s)",
+		ErrShardFull, e.Shard, e.Appended, e.Capacity, 100*e.Fill(), e.Need)
+}
+
+// Unwrap keeps errors.Is(err, ErrShardFull) working.
+func (e *ShardFullError) Unwrap() error { return ErrShardFull }
+
+// Store implements the full DB surface.
+var _ DB = (*Store)(nil)

@@ -7,6 +7,37 @@ import (
 	"cxl0/internal/kv"
 )
 
+// ExampleStore_apply shows the batch API every kv.DB implementation
+// shares: a Batch of puts and deletes is applied in order and
+// acknowledged with one Ack at its commit point — durable on return
+// under every strategy, because Apply commits the shards it touched.
+func ExampleStore_apply() {
+	st, err := kv.Open(kv.Config{Shards: 2, Strategy: kv.GroupCommit, Batch: 64, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	b := new(kv.Batch).Put(1, 101).Put(2, 202).Put(1, 111).Delete(2)
+	ack, err := st.Apply(b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("batch of %d: durable=%v\n", b.Len(), ack.Durable)
+
+	// Last write wins within the batch; the in-batch delete holds.
+	lookups, err := st.MultiGet([]core.Val{1, 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, l := range lookups {
+		fmt.Printf("key %d: found=%v value=%d\n", l.Key, l.Found, l.Val)
+	}
+	// Output:
+	// batch of 4: durable=true
+	// key 1: found=true value=111
+	// key 2: found=false value=0
+}
+
 // ExampleStore_rangedCommit runs the sharded KV service under the
 // RangedCommit strategy: writes are visible immediately but acknowledged
 // durable only when their batch commits — with one ranged persistent flush

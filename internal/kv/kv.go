@@ -11,6 +11,22 @@
 // memsim primitives, so each operation pays the latency model's cost on the
 // simulated clock and obeys the paper's crash semantics.
 //
+// # The DB interface
+//
+// The service surface is the DB interface, not the concrete Store: clients
+// and harnesses (internal/workload, cmd/cxl0-bench) program against DB —
+// point ops, the batch ops MultiGet and Apply, Scan, Sync, and the
+// crash/recover/rebalance/metrics control plane — and *Store is one
+// implementation of it over a single cluster. pool.Router implements the
+// same interface over several pooled clusters (capacity scaling past one
+// coherence domain; see docs/pooling.md), which is why the surface is an
+// interface: code written against DB runs unchanged on either. Apply takes
+// a Batch of puts/deletes and acknowledges it with one Ack at its commit
+// point — the batch maps directly onto the batched persistence strategies
+// below — and MultiGet amortizes routing across a set of point lookups.
+// (Before the pooling work this package exported only the concrete Store;
+// callers outside construction sites should now hold a DB.)
+//
 // # Persistence strategies
 //
 // How an appended record becomes durable — and therefore when the write is

@@ -1,0 +1,391 @@
+// Package kvtest is the reusable conformance suite for the kv.DB
+// contract: any implementation — the single-cluster *kv.Store, the pooled
+// pool.Router, or a future one — must pass Run. The cases pin the parts
+// of the contract a client may rely on across implementations:
+//
+//   - the acknowledgment discipline (Ack.Durable at return for the
+//     per-operation strategies, at the commit point for the batched ones,
+//     with pending writes visible before durable),
+//   - Apply's one-Ack-at-commit-point batch semantics,
+//   - Scan's global key ordering and limit handling,
+//   - MultiGet's input-order results,
+//   - Sync as a universal commit point, and
+//   - crash/recovery visibility: an acknowledged write survives every
+//     shard of the service crashing and recovering; an unacknowledged
+//     write may be dropped, never corrupted.
+//
+// The suite deliberately avoids implementation-shaped assertions (shard
+// placement, exact commit counts, busy-time accounting): those belong to
+// the implementations' own tests.
+package kvtest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+)
+
+// Factory returns a fresh, empty DB built over the given per-cluster
+// store configuration. Implementations with more topology (e.g. a pooled
+// router's cluster count) fix the extra dimensions inside the factory.
+type Factory func(t *testing.T, cfg kv.Config) kv.DB
+
+// Run exercises the full kv.DB contract against DBs produced by f.
+func Run(t *testing.T, f Factory) {
+	t.Run("AckDurability", func(t *testing.T) { testAckDurability(t, f) })
+	t.Run("ApplyBatch", func(t *testing.T) { testApplyBatch(t, f) })
+	t.Run("ScanLimitOrdering", func(t *testing.T) { testScanLimitOrdering(t, f) })
+	t.Run("MultiGet", func(t *testing.T) { testMultiGet(t, f) })
+	t.Run("SyncCommits", func(t *testing.T) { testSyncCommits(t, f) })
+	t.Run("CrashRecoverVisibility", func(t *testing.T) { testCrashRecoverVisibility(t, f) })
+	t.Run("BadArguments", func(t *testing.T) { testBadArguments(t, f) })
+}
+
+func cfgFor(strat kv.Strategy) kv.Config {
+	return kv.Config{Shards: 2, Strategy: strat, Batch: 4, Capacity: 512, Seed: 21, EvictEvery: 3}
+}
+
+// crashRecoverAll cycles every shard of the service through one
+// crash+recover.
+func crashRecoverAll(t *testing.T, db kv.DB) {
+	t.Helper()
+	for i := 0; i < db.NumShards(); i++ {
+		db.Crash(i)
+		if _, err := db.Recover(i); err != nil {
+			t.Fatalf("recover shard %d: %v", i, err)
+		}
+	}
+}
+
+// testAckDurability pins the ack discipline: per-operation strategies
+// acknowledge at return, batched ones at the commit point — and a
+// pending batched write is visible (dirty-read semantics) before it is
+// durable.
+func testAckDurability(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, cfgFor(strat))
+			const n = 10
+			sawPending := false
+			for k := core.Val(0); k < n; k++ {
+				ack, err := db.Put(k, k+1)
+				if err != nil {
+					t.Fatalf("put %d: %v", k, err)
+				}
+				if strat.Durable() && !ack.Durable {
+					t.Fatalf("put %d not acked at return under %v", k, strat)
+				}
+				if !ack.Durable {
+					sawPending = true
+					// Visible before durable.
+					if v, ok, err := db.Get(k); err != nil || !ok || v != k+1 {
+						t.Fatalf("pending write %d invisible: (%d, %v, %v)", k, v, ok, err)
+					}
+				}
+			}
+			if strat.Batched() && !sawPending {
+				t.Fatalf("%v acked every write at return; batched strategies must defer", strat)
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if m := db.Metrics(); m.Acked != n {
+				t.Fatalf("acked = %d after sync, want %d", m.Acked, n)
+			}
+		})
+	}
+}
+
+// testApplyBatch pins Apply's contract: ops apply in order, the batch is
+// acknowledged with one Ack at its commit point, and on success the whole
+// batch is durable under every strategy — proven by crashing every shard
+// and finding all of it again.
+func testApplyBatch(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, cfgFor(strat))
+			b := new(kv.Batch)
+			const n = 12
+			for k := core.Val(0); k < n; k++ {
+				b.Put(k, k+100)
+			}
+			b.Put(3, 333)  // overwrite inside the batch: last write wins
+			b.Delete(5)    // put-then-delete inside the batch: deleted
+			b.Put(n, 777)  // delete-then... fresh key at the end
+			b.Delete(9999) // deleting an absent key is legal
+			ack, err := db.Apply(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ack.Durable {
+				t.Fatalf("apply returned non-durable ack %+v under %v", ack, strat)
+			}
+			check := func() {
+				t.Helper()
+				for k := core.Val(0); k <= n; k++ {
+					want, present := k+100, true
+					switch k {
+					case 3:
+						want = 333
+					case 5:
+						present = false
+					case n:
+						want = 777
+					}
+					v, ok, err := db.Get(k)
+					if err != nil || ok != present || (present && v != want) {
+						t.Fatalf("get %d = (%d, %v, %v), want (%d, %v)", k, v, ok, err, want, present)
+					}
+				}
+			}
+			check()
+			// The commit point has passed: the batch survives every shard
+			// crashing.
+			crashRecoverAll(t, db)
+			check()
+			if m := db.Metrics(); m.Batches == 0 {
+				t.Fatal("Apply not counted in Metrics.Batches")
+			}
+			// An empty batch is a durable no-op.
+			if ack, err := db.Apply(new(kv.Batch)); err != nil || !ack.Durable {
+				t.Fatalf("empty apply: %+v, %v", ack, err)
+			}
+		})
+	}
+}
+
+// testScanLimitOrdering pins Scan: results in global key order, half-open
+// range, limit keeps the smallest keys, limit 0 means unlimited.
+func testScanLimitOrdering(t *testing.T, f Factory) {
+	db := f(t, cfgFor(kv.RangedCommit))
+	const n = 30
+	// Insert in a scattered order so result order cannot be insertion
+	// order by accident.
+	for i := 0; i < n; i++ {
+		k := core.Val((i * 17) % n)
+		if _, err := db.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := db.Scan(5, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 20 {
+		t.Fatalf("scan [5,25) returned %d pairs, want 20", len(pairs))
+	}
+	for i, p := range pairs {
+		if want := core.Val(5 + i); p.Key != want || p.Val != want+1 {
+			t.Fatalf("pair %d = %+v, want key %d in order", i, p, want)
+		}
+	}
+	limited, err := db.Scan(5, 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 6 {
+		t.Fatalf("limited scan returned %d pairs, want 6", len(limited))
+	}
+	for i, p := range limited {
+		if want := core.Val(5 + i); p.Key != want {
+			t.Fatalf("limited pair %d = %+v; the limit must keep the smallest keys", i, p)
+		}
+	}
+	if empty, err := db.Scan(100, 200, 0); err != nil || len(empty) != 0 {
+		t.Fatalf("empty-range scan = %v, %v", empty, err)
+	}
+}
+
+// testMultiGet pins MultiGet: one result per key, in input order,
+// including misses and repeats.
+func testMultiGet(t *testing.T, f Factory) {
+	db := f(t, cfgFor(kv.StoreFlush))
+	for k := core.Val(0); k < 20; k++ {
+		if _, err := db.Put(k, k*2+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := []core.Val{13, 999, 2, 13, 0}
+	res, err := db.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(keys) {
+		t.Fatalf("%d results for %d keys", len(res), len(keys))
+	}
+	for i, l := range res {
+		if l.Key != keys[i] {
+			t.Fatalf("result %d is key %d, want %d: results must keep input order", i, l.Key, keys[i])
+		}
+		wantFound := keys[i] < 20
+		if l.Found != wantFound || (wantFound && l.Val != keys[i]*2+1) {
+			t.Fatalf("result %d = %+v", i, l)
+		}
+	}
+	if res, err := db.MultiGet(nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty MultiGet = %v, %v", res, err)
+	}
+}
+
+// testSyncCommits pins Sync as the universal commit point: after Sync
+// returns, every prior write is acknowledged durable and survives a full
+// crash/recovery sweep.
+func testSyncCommits(t *testing.T, f Factory) {
+	for _, strat := range []kv.Strategy{kv.GroupCommit, kv.RangedCommit, kv.MStoreEach} {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, cfgFor(strat))
+			const n = 7 // not a multiple of Batch: a batch stays open
+			for k := core.Val(0); k < n; k++ {
+				if _, err := db.Put(k, k+50); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if m := db.Metrics(); m.Acked != n {
+				t.Fatalf("acked = %d after sync, want %d", m.Acked, n)
+			}
+			crashRecoverAll(t, db)
+			for k := core.Val(0); k < n; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok || v != k+50 {
+					t.Fatalf("synced write %d lost: (%d, %v, %v)", k, v, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// testCrashRecoverVisibility pins the durability invariant under every
+// strategy: a write acknowledged durable survives every shard crashing
+// and recovering; an unacknowledged write may be dropped by recovery but
+// never corrupted — afterwards the key reads as either its old or its
+// new value, nothing else.
+func testCrashRecoverVisibility(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, cfgFor(strat))
+			const n = 16
+			for k := core.Val(0); k < n; k++ {
+				if _, err := db.Put(k, 1000+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// Overwrite a few keys without syncing: under the batched
+			// strategies some of these are unacknowledged when the crash
+			// hits.
+			ackedNew := map[core.Val]bool{}
+			for k := core.Val(0); k < 6; k++ {
+				ack, err := db.Put(k, 2000+k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ackedNew[k] = ack.Durable
+			}
+			crashRecoverAll(t, db)
+			for k := core.Val(0); k < n; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok {
+					t.Fatalf("key %d unreadable after recovery: (%v, %v)", k, ok, err)
+				}
+				old, new := 1000+k, 2000+k
+				switch {
+				case k >= 6:
+					if v != old {
+						t.Fatalf("untouched key %d = %d, want %d", k, v, old)
+					}
+				case ackedNew[k]:
+					if v != new {
+						t.Fatalf("key %d acked at %d but reads %d", k, new, v)
+					}
+				default:
+					// Unacknowledged overwrite: old or new, never garbage.
+					if v != old && v != new {
+						t.Fatalf("key %d corrupted: %d (want %d or %d)", k, v, old, new)
+					}
+				}
+			}
+			// Recovering an up shard is a no-op.
+			if stats, err := db.Recover(0); err != nil || stats.Recovered != 0 {
+				t.Fatalf("recover of an up shard: %+v, %v", stats, err)
+			}
+			// The rebalancer is part of the surface: a call must not error
+			// on a healthy service.
+			if _, err := db.Rebalance(); err != nil {
+				t.Fatalf("rebalance on healthy service: %v", err)
+			}
+		})
+	}
+}
+
+// testBadArguments pins argument validation across the surface.
+func testBadArguments(t *testing.T, f Factory) {
+	db := f(t, cfgFor(kv.MStoreEach))
+	if _, err := db.Put(-1, 5); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("negative key put: %v", err)
+	}
+	if _, err := db.Put(1, 0); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("zero value put: %v", err)
+	}
+	if _, _, err := db.Get(-2); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("negative key get: %v", err)
+	}
+	if _, err := db.MultiGet([]core.Val{1, -3}); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("negative key multiget: %v", err)
+	}
+	if _, err := db.Apply(new(kv.Batch).Put(-1, 1)); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("negative key apply: %v", err)
+	}
+	// A zero-value put in a batch is invalid input — it must fail exactly
+	// like Store.Put(k, 0) does, not silently apply as a delete.
+	if _, err := db.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Apply(new(kv.Batch).Put(5, 0)); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("zero-value put in batch: %v", err)
+	}
+	if v, ok, err := db.Get(5); err != nil || !ok || v != 50 {
+		t.Fatalf("rejected batch still mutated key 5: (%d, %v, %v)", v, ok, err)
+	}
+	if _, err := db.Delete(-1); !errors.Is(err, kv.ErrBadKey) {
+		t.Fatalf("negative key delete: %v", err)
+	}
+}
+
+// FullToDiagnosable fills a tiny DB until it errors and checks the
+// failure is a diagnosable ShardFullError carrying shard identity and
+// fill level — the contract bench/workload failures rely on. Exposed
+// separately from Run because it needs a capacity-constrained config.
+func FullToDiagnosable(t *testing.T, f Factory) {
+	db := f(t, kv.Config{Shards: 1, Capacity: 4, Strategy: kv.MStoreEach, Seed: 2})
+	var lastErr error
+	for k := core.Val(0); k < 10 && lastErr == nil; k++ {
+		_, lastErr = db.Put(k, 1)
+	}
+	if !errors.Is(lastErr, kv.ErrShardFull) {
+		t.Fatalf("want ErrShardFull, got %v", lastErr)
+	}
+	var full *kv.ShardFullError
+	if !errors.As(lastErr, &full) {
+		t.Fatalf("error does not carry *kv.ShardFullError: %v", lastErr)
+	}
+	if full.Appended != 4 || full.Capacity != 4 || full.Fill() != 1 || full.Need != 1 {
+		t.Fatalf("fill details wrong: %+v", full)
+	}
+	if msg := lastErr.Error(); !strings.Contains(msg, "100% full") {
+		t.Fatalf("error message %q does not state the fill level", msg)
+	}
+}

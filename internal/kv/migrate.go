@@ -209,11 +209,12 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	ver := s.moveSeq + 1
 	s.moveSeq = ver
 	if len(dst.log)+len(pairs)+1 > dst.cap {
-		return stats, fmt.Errorf("%w: shard %d cannot absorb %d migrated records",
-			ErrShardFull, to, len(pairs)+1)
+		return stats, fmt.Errorf("migrating bucket %d: %w", b,
+			&ShardFullError{Shard: to, Appended: len(dst.log), Capacity: dst.cap, Need: len(pairs) + 1})
 	}
 	if len(src.log) >= src.cap {
-		return stats, fmt.Errorf("%w: shard %d has no slot for the move record", ErrShardFull, from)
+		return stats, fmt.Errorf("bucket %d move record: %w", b,
+			&ShardFullError{Shard: from, Appended: len(src.log), Capacity: src.cap, Need: 1})
 	}
 
 	s.hookStep(StepBeforeCopy)

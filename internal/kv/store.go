@@ -104,9 +104,15 @@ func (sh *shard) thread() *memsim.Thread {
 
 // Metrics is a snapshot of a store's service counters.
 type Metrics struct {
+	// Puts, Gets, Deletes and Scans count operations served. Gets counts
+	// point lookups, including each key resolved by a MultiGet.
 	Puts, Gets, Deletes, Scans uint64
 	ScannedPairs               uint64
-	Commits                    uint64 // commit flushes issued (GPF or ranged batches)
+	// MultiGets counts MultiGet calls and Batches counts Apply calls (a
+	// Router splitting one client batch across clusters counts one Apply
+	// per sub-batch it forwards).
+	MultiGets, Batches uint64
+	Commits            uint64 // commit flushes issued (GPF or ranged batches)
 	// Acked is the cumulative count of client writes acknowledged durable
 	// (at return, at a batch commit, via Sync, or by a recovery that
 	// salvaged a pending batch). It only ever grows: recovery truncation
@@ -208,6 +214,7 @@ type Store struct {
 
 	puts, gets, deletes, scans uint64
 	scannedPairs               uint64
+	multiGets, batches         uint64
 	commits                    uint64
 	ackedWrites                uint64
 	dropped                    uint64
@@ -298,6 +305,9 @@ func (s *Store) spawnThreads(sh *shard) error {
 // Cluster returns the backing cluster (for churn injection and
 // inspection).
 func (s *Store) Cluster() *memsim.Cluster { return s.cluster }
+
+// NowNS returns the cluster's simulated clock.
+func (s *Store) NowNS() float64 { return s.cluster.NowNS() }
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
@@ -561,7 +571,7 @@ func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 		return Ack{}, ErrShardDown
 	}
 	if len(sh.log) >= sh.cap {
-		return Ack{}, fmt.Errorf("%w: shard %d at %d records", ErrShardFull, sh.id, sh.cap)
+		return Ack{}, &ShardFullError{Shard: sh.id, Appended: len(sh.log), Capacity: sh.cap, Need: 1}
 	}
 	slot := len(sh.log)
 	start := s.cluster.NowNS()
@@ -626,6 +636,12 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.getLocked(key)
+}
+
+// getLocked serves one point lookup with the store lock held — the path
+// Get and MultiGet share.
+func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 	s.gets++
 	sh := s.shards[s.shardOf(key)]
 	if sh.down {
@@ -644,6 +660,89 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 		return 0, false, err
 	}
 	return v, true, nil
+}
+
+// MultiGet resolves a set of keys under one lock acquisition, returning
+// one Lookup per key in input order. Each key pays the same simulated
+// read cost as a Get; the amortization is the routing (one traversal of
+// the service instead of one call per key). A key routed to a down shard
+// fails the whole call, like Get.
+func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
+	for _, k := range keys {
+		if k < 0 {
+			return nil, ErrBadKey
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.multiGets++
+	out := make([]Lookup, 0, len(keys))
+	for _, k := range keys {
+		v, ok, err := s.getLocked(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Lookup{Key: k, Val: v, Found: ok})
+	}
+	return out, nil
+}
+
+// Apply applies the batch's puts and deletes in order, then commits every
+// shard the batch touched, acknowledging the whole batch with one Ack at
+// that commit point: on success every record is durable (Ack.Durable ==
+// true) regardless of strategy. Under GroupCommit/RangedCommit the client
+// batch becomes the commit unit — one flush per touched shard — instead
+// of acking at Config.Batch boundaries; under the per-operation
+// strategies every record was durable as it was written and the trailing
+// commit is a no-op. Apply is not a transaction: on error a prefix of the
+// batch may already be applied. Ack.Shard/Seq identify the batch's last
+// appended record.
+func (s *Store) Apply(b *Batch) (Ack, error) {
+	if b == nil || b.Len() == 0 {
+		return Ack{Shard: -1, Seq: -1, Durable: true}, nil
+	}
+	for _, op := range b.ops {
+		if op.Key < 0 || (!op.IsDelete() && op.Val < 1) {
+			return Ack{}, ErrBadKey
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	touched := make([]bool, len(s.shards))
+	var last Ack
+	for _, op := range b.ops {
+		val := op.Val
+		if op.IsDelete() {
+			s.deletes++
+			val = 0 // the tombstone value
+		} else {
+			s.puts++
+		}
+		sh := s.shards[s.shardOf(op.Key)]
+		ack, err := s.append(sh, op.Key, val)
+		if err != nil {
+			return Ack{}, err
+		}
+		touched[sh.id] = true
+		last = ack
+	}
+	// The batch's commit point: flush every touched shard's open batch
+	// (which may also cover earlier writes pending on those shards — a
+	// commit always acknowledges everything up to it).
+	for id, hit := range touched {
+		if !hit {
+			continue
+		}
+		sh := s.shards[id]
+		start := s.cluster.NowNS()
+		err := s.commitLocked(sh)
+		sh.busyNS += s.cluster.NowNS() - start
+		if err != nil {
+			return Ack{}, err
+		}
+	}
+	return Ack{Shard: last.Shard, Seq: last.Seq, Durable: true}, nil
 }
 
 // Scan returns up to limit live pairs with lo <= key < hi, in key order,
@@ -994,6 +1093,8 @@ func (s *Store) Metrics() Metrics {
 		Deletes:         s.deletes,
 		Scans:           s.scans,
 		ScannedPairs:    s.scannedPairs,
+		MultiGets:       s.multiGets,
+		Batches:         s.batches,
 		Commits:         s.commits,
 		Acked:           s.ackedWrites,
 		DroppedPending:  s.dropped,
@@ -1017,6 +1118,7 @@ func (s *Store) ResetMetrics() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.puts, s.gets, s.deletes, s.scans = 0, 0, 0, 0
+	s.multiGets, s.batches = 0, 0
 	s.scannedPairs, s.commits, s.dropped, s.recoveries = 0, 0, 0, 0
 	s.ackedWrites, s.migrations, s.migratedRecords = 0, 0, 0
 	s.recoveryNS = nil

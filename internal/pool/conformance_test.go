@@ -1,0 +1,39 @@
+package pool_test
+
+import (
+	"testing"
+
+	"cxl0/internal/kv"
+	"cxl0/internal/kv/kvtest"
+	"cxl0/internal/pool"
+)
+
+func routerFactory(clusters int) kvtest.Factory {
+	return func(t *testing.T, cfg kv.Config) kv.DB {
+		t.Helper()
+		r, err := pool.Open(pool.Config{Clusters: clusters, Store: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}
+
+// TestRouterConformance runs the kv.DB conformance suite against a
+// 2-cluster Router: the pooled service must honor the exact contract a
+// single store does.
+func TestRouterConformance(t *testing.T) {
+	kvtest.Run(t, routerFactory(2))
+}
+
+// TestRouterConformanceThreeClusters re-runs the suite at 3 clusters,
+// where fan-out and merge paths split three ways.
+func TestRouterConformanceThreeClusters(t *testing.T) {
+	kvtest.Run(t, routerFactory(3))
+}
+
+// TestRouterShardFullDiagnosable: the structured ShardFullError surfaces
+// through the router unchanged.
+func TestRouterShardFullDiagnosable(t *testing.T) {
+	kvtest.FullToDiagnosable(t, routerFactory(1))
+}

@@ -1,0 +1,423 @@
+// Package pool scales the KV service past a single coherence domain: a
+// Router pools N independent clusters — each a complete kv.Store with its
+// own memsim cluster, fabric and clock — behind the same kv.DB interface
+// a single store serves, following emucxl's application-level API over
+// pooled CXL memory and the pooling topologies of CXL-ClusterSim
+// (PAPERS.md). Capacity and throughput scale by adding clusters: the
+// clusters share nothing, so the pooled service's makespan is the busiest
+// shard across all of them, and a GPF issued inside one cluster stalls
+// only that cluster's fabric.
+//
+// # Routing
+//
+// Keys route key → pool bucket → cluster → (inside the owning store)
+// key → store bucket → shard: the same virtual-bucket indirection the
+// shard map uses (docs/rebalancing.md), lifted one level. The pool-level
+// map is a front-end DRAM array costing nothing on the simulated clock.
+// It is fixed today — bucket b lives on cluster b mod Clusters — but the
+// indirection is the point: a future cross-cluster migration repoints one
+// bucket at a time and can reuse the shard map's durable move protocol
+// (copy → durable move-out record → flip) across clusters. See
+// docs/pooling.md.
+//
+// # What is and isn't crash-safe
+//
+// Every per-cluster guarantee survives pooling unchanged: an acknowledged
+// write durably lives in exactly one cluster, and that cluster's
+// crash/recovery rules apply verbatim (Crash/Recover pass through to the
+// owning store, with shards addressed by global index). What pooling does
+// NOT add is any cross-cluster ordering: an Apply spanning clusters
+// commits per cluster in sequence, so a crash between those commits can
+// leave the batch durable in one cluster and dropped in another — the
+// same partial-prefix caveat Apply already carries within one store,
+// widened to cluster granularity. Cross-cluster atomicity (and
+// cross-cluster bucket migration) is future work; see docs/pooling.md.
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+)
+
+// DefaultBuckets is the pool-level virtual-bucket count when
+// Config.Buckets is zero, mirroring kv.DefaultBuckets.
+const DefaultBuckets = 128
+
+// Batch aliases kv.Batch so pool-only callers need one import; Apply
+// accepts exactly kv's type, as the DB interface requires.
+type Batch = kv.Batch
+
+// Config describes a Router.
+type Config struct {
+	// Clusters is the number of independent pooled clusters (default 1).
+	Clusters int
+	// Buckets is the pool-level virtual-bucket count (default
+	// DefaultBuckets), rounded up to a multiple of Clusters so the
+	// initial layout spreads buckets evenly.
+	Buckets int
+	// Store configures each cluster's store identically — shards,
+	// strategy, capacity and variant are per cluster. Store.Seed seeds
+	// cluster 0; cluster c runs at Store.Seed + c so the pooled fabrics
+	// are deterministic but not in lockstep.
+	Store kv.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clusters <= 0 {
+		c.Clusters = 1
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.Buckets < c.Clusters {
+		c.Buckets = c.Clusters
+	}
+	if r := c.Buckets % c.Clusters; r != 0 {
+		c.Buckets += c.Clusters - r
+	}
+	return c
+}
+
+// Router pools N cluster-backed stores behind the kv.DB interface.
+// Shards are addressed by global index: cluster c's shard i is
+// c*shardsPerCluster + i. The cluster map is immutable after Open, and
+// every store serializes its own operations, so Router methods are safe
+// for concurrent use; operations on distinct clusters do not serialize
+// against each other.
+type Router struct {
+	cfg        Config
+	stores     []*kv.Store
+	clusterMap []int // pool bucket -> cluster
+	shardBase  []int // cluster -> first global shard index
+	nShards    int
+}
+
+// Router implements the full DB surface over pooled clusters.
+var _ kv.DB = (*Router)(nil)
+
+// Open builds Clusters independent cluster-backed stores and the router
+// over them.
+func Open(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg, clusterMap: make([]int, cfg.Buckets)}
+	for b := range r.clusterMap {
+		r.clusterMap[b] = b % cfg.Clusters
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		scfg := cfg.Store
+		scfg.Seed += int64(c)
+		st, err := kv.Open(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("pool: cluster %d: %w", c, err)
+		}
+		r.shardBase = append(r.shardBase, r.nShards)
+		r.nShards += st.NumShards()
+		r.stores = append(r.stores, st)
+	}
+	return r, nil
+}
+
+// NumClusters returns the pooled cluster count.
+func (r *Router) NumClusters() int { return len(r.stores) }
+
+// NumBuckets returns the pool-level virtual-bucket count.
+func (r *Router) NumBuckets() int { return len(r.clusterMap) }
+
+// BucketOf returns the pool bucket key k hashes to. The hash must be
+// independent of the store-level shard map's (bare Fibonacci
+// multiplication): both maps reduce modulo bucket counts that share
+// factors in common configurations (128 by default), so reusing the
+// store's hash would alias cluster routing with shard routing — at
+// Clusters == Shards every cluster would serve all of its traffic on the
+// single shard congruent to its own index. The avalanche finisher
+// (Murmur3-style, the same mixing idiom as kv's record checksums)
+// decorrelates the two levels.
+func (r *Router) BucketOf(k core.Val) int {
+	h := uint64(k) * 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(len(r.clusterMap)))
+}
+
+// ClusterOf returns the cluster key k currently routes to.
+func (r *Router) ClusterOf(k core.Val) int { return r.clusterMap[r.BucketOf(k)] }
+
+// ClusterOfBucket returns the cluster serving pool bucket b.
+func (r *Router) ClusterOfBucket(b int) int { return r.clusterMap[b] }
+
+// Cluster returns cluster c's backing store (for inspection and tests).
+func (r *Router) Cluster(c int) *kv.Store { return r.stores[c] }
+
+// store returns the store serving key k.
+func (r *Router) store(k core.Val) *kv.Store { return r.stores[r.ClusterOf(k)] }
+
+// globalShard lifts cluster c's local shard index to the pool's global
+// index space.
+func (r *Router) globalShard(c, local int) int { return r.shardBase[c] + local }
+
+// localShard resolves a global shard index to (cluster, local index).
+func (r *Router) localShard(i int) (c, local int) {
+	for c = len(r.stores) - 1; c > 0; c-- {
+		if i >= r.shardBase[c] {
+			break
+		}
+	}
+	return c, i - r.shardBase[c]
+}
+
+// clusterErr tags a per-store error with the cluster it came from — a
+// pooled deployment has Clusters copies of every shard index, so a bare
+// "shard 1 is down/full" is ambiguous without it. fmt.Errorf's %w keeps
+// errors.Is/errors.As (ErrShardDown, *ShardFullError, ...) working.
+func clusterErr(c int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("pool: cluster %d: %w", c, err)
+}
+
+// Put routes the write to the key's cluster. The returned Ack's Shard is
+// a global index.
+func (r *Router) Put(key, val core.Val) (kv.Ack, error) {
+	if key < 0 {
+		return kv.Ack{}, kv.ErrBadKey
+	}
+	c := r.ClusterOf(key)
+	ack, err := r.stores[c].Put(key, val)
+	if err != nil {
+		return kv.Ack{}, clusterErr(c, err)
+	}
+	ack.Shard = r.globalShard(c, ack.Shard)
+	return ack, nil
+}
+
+// Delete routes the tombstone to the key's cluster.
+func (r *Router) Delete(key core.Val) (kv.Ack, error) {
+	if key < 0 {
+		return kv.Ack{}, kv.ErrBadKey
+	}
+	c := r.ClusterOf(key)
+	ack, err := r.stores[c].Delete(key)
+	if err != nil {
+		return kv.Ack{}, clusterErr(c, err)
+	}
+	ack.Shard = r.globalShard(c, ack.Shard)
+	return ack, nil
+}
+
+// Get routes the lookup to the key's cluster.
+func (r *Router) Get(key core.Val) (core.Val, bool, error) {
+	if key < 0 {
+		return 0, false, kv.ErrBadKey
+	}
+	c := r.ClusterOf(key)
+	v, ok, err := r.stores[c].Get(key)
+	return v, ok, clusterErr(c, err)
+}
+
+// MultiGet fans the keys out to their clusters — one MultiGet per
+// involved cluster, carrying that cluster's keys in input order — and
+// merges the per-cluster results back into input order.
+func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
+	for _, k := range keys {
+		if k < 0 {
+			return nil, kv.ErrBadKey
+		}
+	}
+	byCluster := make([][]core.Val, len(r.stores))
+	byClusterPos := make([][]int, len(r.stores))
+	for i, k := range keys {
+		c := r.ClusterOf(k)
+		byCluster[c] = append(byCluster[c], k)
+		byClusterPos[c] = append(byClusterPos[c], i)
+	}
+	out := make([]kv.Lookup, len(keys))
+	for c, sub := range byCluster {
+		if len(sub) == 0 {
+			continue
+		}
+		res, err := r.stores[c].MultiGet(sub)
+		if err != nil {
+			return nil, clusterErr(c, err)
+		}
+		for j, l := range res {
+			out[byClusterPos[c][j]] = l
+		}
+	}
+	return out, nil
+}
+
+// Scan fans the range out to every cluster and merges the per-cluster
+// results — each already in key order — into one globally key-ordered
+// slice, truncated to limit. Every cluster is asked for up to limit pairs
+// (it cannot know how many of its keys survive the merge), so a limited
+// pooled scan may load up to Clusters × limit values; the merge keeps the
+// cheapest limit ones.
+func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
+	var merged []kv.Pair
+	for c, st := range r.stores {
+		pairs, err := st.Scan(lo, hi, limit)
+		if err != nil {
+			return nil, clusterErr(c, err)
+		}
+		merged = append(merged, pairs...)
+	}
+	// Clusters partition the keyspace, so pairs are unique across them and
+	// a sort is a merge.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// Apply splits the batch into per-cluster sub-batches (each preserving
+// the batch's operation order — order across clusters is irrelevant
+// because clusters partition the keyspace) and applies them in cluster
+// order. Each sub-batch commits inside its own cluster, so on success the
+// whole batch is durable and acknowledged with one Ack; on error, whole
+// sub-batches (and a prefix of the failing one) may already be applied —
+// the same partial-prefix caveat kv.Store.Apply carries, at cluster
+// granularity. The returned Ack identifies the last record of the
+// sub-batch holding the batch's final operation, with Shard global.
+func (r *Router) Apply(b *Batch) (kv.Ack, error) {
+	if b == nil || b.Len() == 0 {
+		return kv.Ack{Shard: -1, Seq: -1, Durable: true}, nil
+	}
+	ops := b.Ops()
+	for _, op := range ops {
+		if op.Key < 0 || (!op.IsDelete() && op.Val < 1) {
+			return kv.Ack{}, kv.ErrBadKey
+		}
+	}
+	sub := make([]kv.Batch, len(r.stores))
+	lastCluster := 0
+	for _, op := range ops {
+		c := r.ClusterOf(op.Key)
+		if op.IsDelete() {
+			sub[c].Delete(op.Key)
+		} else {
+			sub[c].Put(op.Key, op.Val)
+		}
+		lastCluster = c
+	}
+	var final kv.Ack
+	for c := range sub {
+		if sub[c].Len() == 0 {
+			continue
+		}
+		ack, err := r.stores[c].Apply(&sub[c])
+		if err != nil {
+			return kv.Ack{}, clusterErr(c, err)
+		}
+		ack.Shard = r.globalShard(c, ack.Shard)
+		if c == lastCluster {
+			final = ack
+		}
+	}
+	return final, nil
+}
+
+// Sync commits every cluster's open batches.
+func (r *Router) Sync() error {
+	for c, st := range r.stores {
+		if err := st.Sync(); err != nil {
+			return clusterErr(c, err)
+		}
+	}
+	return nil
+}
+
+// NumShards returns the total shard count across clusters.
+func (r *Router) NumShards() int { return r.nShards }
+
+// Crash fails the machine of the shard with global index i.
+func (r *Router) Crash(i int) {
+	c, local := r.localShard(i)
+	r.stores[c].Crash(local)
+}
+
+// Recover restarts the shard with global index i; the returned stats
+// carry the global index.
+func (r *Router) Recover(i int) (kv.RecoveryStats, error) {
+	c, local := r.localShard(i)
+	stats, err := r.stores[c].Recover(local)
+	if err != nil {
+		return kv.RecoveryStats{}, clusterErr(c, err)
+	}
+	stats.Shard = r.globalShard(c, stats.Shard)
+	return stats, nil
+}
+
+// Rebalance runs each cluster's load-aware rebalancer — bucket migration
+// stays within a cluster today (cross-cluster migration is future work) —
+// and returns the union of moves with shard indices lifted to the global
+// space.
+func (r *Router) Rebalance() ([]kv.MigrationStats, error) {
+	var all []kv.MigrationStats
+	for c, st := range r.stores {
+		moves, err := st.Rebalance()
+		for i := range moves {
+			moves[i].From = r.globalShard(c, moves[i].From)
+			moves[i].To = r.globalShard(c, moves[i].To)
+		}
+		all = append(all, moves...)
+		if err != nil {
+			return all, clusterErr(c, err)
+		}
+	}
+	return all, nil
+}
+
+// Metrics aggregates every cluster's snapshot: counters summed, per-shard
+// series concatenated in global shard order, latency and recovery samples
+// pooled. kv.Metrics' derived views keep their meaning: MaxBusyNS is the
+// pooled service makespan (clusters run in parallel like shards do) and
+// MaxMeanBusyRatio the placement skew across all shards of all clusters.
+func (r *Router) Metrics() kv.Metrics {
+	var agg kv.Metrics
+	for _, st := range r.stores {
+		m := st.Metrics()
+		agg.Puts += m.Puts
+		agg.Gets += m.Gets
+		agg.Deletes += m.Deletes
+		agg.Scans += m.Scans
+		agg.ScannedPairs += m.ScannedPairs
+		agg.MultiGets += m.MultiGets
+		agg.Batches += m.Batches
+		agg.Commits += m.Commits
+		agg.Acked += m.Acked
+		agg.DroppedPending += m.DroppedPending
+		agg.Recoveries += m.Recoveries
+		agg.Migrations += m.Migrations
+		agg.MigratedRecords += m.MigratedRecords
+		agg.RecoveryNS = append(agg.RecoveryNS, m.RecoveryNS...)
+		agg.PerShardBusyNS = append(agg.PerShardBusyNS, m.PerShardBusyNS...)
+		agg.PerShardChurnNS = append(agg.PerShardChurnNS, m.PerShardChurnNS...)
+		agg.WriteLatencies = append(agg.WriteLatencies, m.WriteLatencies...)
+	}
+	return agg
+}
+
+// ResetMetrics zeroes every cluster's counters and clocks.
+func (r *Router) ResetMetrics() {
+	for _, st := range r.stores {
+		st.ResetMetrics()
+	}
+}
+
+// NowNS returns the sum of the pooled clusters' independent simulated
+// clocks — the pool's total consumed simulated time. Deltas around an
+// operation measure its cost (its owning cluster is the only clock that
+// advances; a fan-out op's delta is the summed cost across clusters).
+func (r *Router) NowNS() float64 {
+	total := 0.0
+	for _, st := range r.stores {
+		total += st.NowNS()
+	}
+	return total
+}

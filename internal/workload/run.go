@@ -7,17 +7,24 @@ import (
 
 	"cxl0/internal/core"
 	"cxl0/internal/kv"
+	"cxl0/internal/pool"
 )
 
-// Options configures one benchmark run: a workload spec driving one store
-// configuration, with an optional crash-churn schedule.
+// Options configures one benchmark run: a workload spec driving one
+// service configuration, with an optional crash-churn schedule. The
+// runner drives the kv.DB interface only: a single cluster-backed store,
+// or — with Clusters > 1 — a pool.Router over several.
 type Options struct {
 	// Spec is the workload mix.
 	Spec Spec
-	// Store is the store configuration. If Store.Capacity is zero the
-	// runner sizes each shard's log to fit the worst case (preload plus
-	// every operation being a write).
+	// Store is the per-cluster store configuration. If Store.Capacity is
+	// zero the runner sizes each shard's log to fit the worst case
+	// (preload plus every operation being a write).
 	Store kv.Config
+	// Clusters pools several independent clusters behind a router
+	// (0 or 1 = a single cluster; the run then matches the pre-pooling
+	// harness bit for bit).
+	Clusters int
 	// Ops is the number of measured operations (after preload).
 	Ops int
 	// CrashEvery injects one crash+recover cycle (rotating over shards)
@@ -35,7 +42,11 @@ type Options struct {
 type Result struct {
 	Workload string `json:"workload"`
 	Strategy string `json:"strategy"`
+	// Shards is the per-cluster shard count and Clusters the pooled
+	// cluster count (1 = a single cluster); the service's total shard
+	// count is their product.
 	Shards   int    `json:"shards"`
+	Clusters int    `json:"clusters"`
 	Variant  string `json:"variant"`
 	Batch    int    `json:"batch,omitempty"`
 	Colocate bool   `json:"colocate,omitempty"`
@@ -59,7 +70,11 @@ type Result struct {
 
 	// Latency percentiles over per-operation ack latencies, in simulated
 	// nanoseconds (writes: submit to durable-ack; reads/scans: call
-	// duration).
+	// duration measured as consumed simulated time). On pooled rows a
+	// scan's fan-out legs run on independent clusters but are measured as
+	// their summed cost — a serial upper bound on the parallel latency —
+	// so pooled scan percentiles are conservative relative to SimNS's
+	// parallel-makespan accounting.
 	P50NS float64 `json:"p50_ns"`
 	P95NS float64 `json:"p95_ns"`
 	P99NS float64 `json:"p99_ns"`
@@ -86,13 +101,18 @@ type Result struct {
 	Commits uint64 `json:"commits,omitempty"`
 }
 
-// Run executes one workload against one store configuration.
+// Run executes one workload against one service configuration, driving
+// it purely through the kv.DB interface.
 func Run(o Options) (Result, error) {
 	if err := o.Spec.Validate(); err != nil {
 		return Result{}, err
 	}
 	if o.Ops <= 0 {
 		o.Ops = 1000
+	}
+	clusters := o.Clusters
+	if clusters < 1 {
+		clusters = 1
 	}
 	cfg := o.Store
 	if cfg.Seed == 0 {
@@ -102,33 +122,37 @@ func Run(o Options) (Result, error) {
 		// Worst case: every measured op appends one record, all to one
 		// shard, on top of the preload; recovery truncation reuses slots,
 		// so this bound holds across crash churn too. Rebalancing appends
-		// migrated copies and move markers on top — double the log.
+		// migrated copies and move markers on top — double the log. The
+		// bound is per cluster, and pooling only spreads load, so it keeps
+		// holding at any cluster count.
 		cfg.Capacity = o.Spec.Keys + o.Ops + 8
 		if o.RebalanceEvery > 0 {
 			cfg.Capacity *= 2
 		}
 	}
-	st, err := kv.Open(cfg)
+	var db kv.DB
+	db, err := pool.Open(pool.Config{Clusters: clusters, Store: cfg})
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Preload the keyspace, then exclude it from measurement.
 	for k := 0; k < o.Spec.Keys; k++ {
-		if _, err := st.Put(core.Val(k), core.Val(1+k)); err != nil {
+		if _, err := db.Put(core.Val(k), core.Val(1+k)); err != nil {
 			return Result{}, fmt.Errorf("preload key %d: %w", k, err)
 		}
 	}
-	if err := st.Sync(); err != nil {
+	if err := db.Sync(); err != nil {
 		return Result{}, err
 	}
-	st.ResetMetrics()
+	db.ResetMetrics()
 
 	gen := NewGenerator(o.Spec, o.Seed)
 	res := Result{
 		Workload: o.Spec.Name,
 		Strategy: cfg.Strategy.String(),
-		Shards:   st.NumShards(),
+		Shards:   db.NumShards() / clusters,
+		Clusters: clusters,
 		Variant:  cfg.Variant.String(),
 		Colocate: cfg.Colocate,
 		Seed:     o.Seed,
@@ -148,54 +172,53 @@ func Run(o Options) (Result, error) {
 	recoveryLost := 0
 	for i := 0; i < o.Ops; i++ {
 		if o.CrashEvery > 0 && i > 0 && i%o.CrashEvery == 0 {
-			shard := crashShard % st.NumShards()
+			shard := crashShard % db.NumShards()
 			crashShard++
-			st.Crash(shard)
-			stats, err := st.Recover(shard)
+			db.Crash(shard)
+			stats, err := db.Recover(shard)
 			if err != nil {
 				return Result{}, fmt.Errorf("recover shard %d: %w", shard, err)
 			}
 			recoveryLost += stats.Lost
 		}
 		if o.RebalanceEvery > 0 && i > 0 && i%o.RebalanceEvery == 0 {
-			if _, err := st.Rebalance(); err != nil {
+			if _, err := db.Rebalance(); err != nil {
 				return Result{}, fmt.Errorf("rebalance at op %d: %w", i, err)
 			}
 		}
 		op := gen.Next()
-		cl := st.Cluster()
 		switch op.Kind {
 		case OpRead:
 			res.Reads++
-			start := cl.NowNS()
-			if _, _, err := st.Get(core.Val(op.Key)); err != nil {
+			start := db.NowNS()
+			if _, _, err := db.Get(core.Val(op.Key)); err != nil {
 				return Result{}, fmt.Errorf("op %d read: %w", i, err)
 			}
-			readLat = append(readLat, cl.NowNS()-start)
+			readLat = append(readLat, db.NowNS()-start)
 		case OpUpdate:
 			res.Updates++
-			if _, err := st.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
+			if _, err := db.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
 				return Result{}, fmt.Errorf("op %d update: %w", i, err)
 			}
 		case OpInsert:
 			res.Inserts++
-			if _, err := st.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
+			if _, err := db.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
 				return Result{}, fmt.Errorf("op %d insert: %w", i, err)
 			}
 		case OpScan:
 			res.Scans++
-			start := cl.NowNS()
-			if _, err := st.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen); err != nil {
+			start := db.NowNS()
+			if _, err := db.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen); err != nil {
 				return Result{}, fmt.Errorf("op %d scan: %w", i, err)
 			}
-			readLat = append(readLat, cl.NowNS()-start)
+			readLat = append(readLat, db.NowNS()-start)
 		}
 	}
-	if err := st.Sync(); err != nil {
+	if err := db.Sync(); err != nil {
 		return Result{}, err
 	}
 
-	m := st.Metrics()
+	m := db.Metrics()
 	res.SimNS = m.MaxBusyNS()
 	res.TotalCostNS = m.TotalBusyNS()
 	if res.SimNS > 0 {

@@ -1,7 +1,8 @@
-// Package workload drives a kv.Store with YCSB-style synthetic traffic
-// and reports machine-readable results: simulated throughput, latency
-// percentiles from the latency model, and crash-recovery times under an
-// injected crash-churn schedule.
+// Package workload drives any kv.DB — a single cluster-backed kv.Store
+// or a pool.Router over several clusters (Options.Clusters) — with
+// YCSB-style synthetic traffic and reports machine-readable results:
+// simulated throughput, latency percentiles from the latency model, and
+// crash-recovery times under an injected crash-churn schedule.
 //
 // Generators are deterministic: the same Spec and seed produce the same
 // operation stream, so benchmark results are reproducible bit-for-bit.

@@ -176,6 +176,71 @@ func TestRunRebalanced(t *testing.T) {
 	}
 }
 
+// TestRunPooled drives the runner through a pooled Router: the clusters
+// dimension must echo into the result, crash churn must rotate across
+// every cluster's shards, and the run must stay deterministic.
+func TestRunPooled(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 60
+	opts := Options{
+		Spec:       spec,
+		Store:      kv.Config{Shards: 2, Strategy: kv.RangedCommit, Batch: 8, EvictEvery: 4},
+		Clusters:   2,
+		Ops:        300,
+		CrashEvery: 60,
+		Seed:       8,
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 || res.Shards != 2 {
+		t.Fatalf("pool shape not echoed: clusters=%d shards=%d", res.Clusters, res.Shards)
+	}
+	// Crashes rotate over all 4 global shards: ops 60..240 give 4
+	// recoveries, one per shard across both clusters.
+	if res.Recoveries != 4 {
+		t.Fatalf("recoveries = %d, want 4 across the pool", res.Recoveries)
+	}
+	if res.SimNS <= 0 || res.ThroughputOpsPerSec <= 0 || res.P99NS < res.P50NS {
+		t.Fatalf("implausible pooled result: %+v", res)
+	}
+	again, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != again {
+		t.Fatalf("pooled run not reproducible:\n%+v\n%+v", res, again)
+	}
+}
+
+// TestPoolingScalesThroughput is the capacity-scaling claim the pooled
+// bench rows record: the same traffic over 4 pooled clusters beats one
+// cluster's makespan (clusters share nothing, so they run in parallel).
+func TestPoolingScalesThroughput(t *testing.T) {
+	spec, _ := YCSB("A")
+	spec.Keys = 80
+	run := func(clusters int) Result {
+		res, err := Run(Options{
+			Spec:     spec,
+			Store:    kv.Config{Shards: 2, Strategy: kv.RangedCommit, Batch: 8},
+			Clusters: clusters,
+			Ops:      400,
+			Seed:     4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if four.ThroughputOpsPerSec <= one.ThroughputOpsPerSec {
+		t.Fatalf("4 clusters %.0f ops/s not above 1 cluster %.0f ops/s",
+			four.ThroughputOpsPerSec, one.ThroughputOpsPerSec)
+	}
+}
+
 func TestGroupCommitBeatsPerOpGPF(t *testing.T) {
 	spec, _ := YCSB("A")
 	spec.Keys = 60
