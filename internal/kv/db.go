@@ -49,6 +49,13 @@ type DB interface {
 	// Sync commits every shard's open batch (a no-op under the
 	// per-operation strategies).
 	Sync() error
+	// Compact folds every shard's live index into a durable snapshot and
+	// reclaims its log — Sync-style, one call covers the whole service
+	// (per cluster on a pooled DB, with stats carrying global shard
+	// indices). Shards with empty logs are skipped. Visibility is
+	// unchanged across a Compact; what it reclaims are deleted,
+	// overwritten and migrated-away records. See docs/compaction.md.
+	Compact() ([]CompactionStats, error)
 
 	// NumShards returns the shard count; a pooled DB reports the total
 	// across clusters and addresses shards by global index (cluster-major:
@@ -134,13 +141,22 @@ type ShardFullError struct {
 	// globally.
 	Shard int
 	// Appended and Capacity are the shard log's current record count and
-	// limit.
+	// limit — except when Live is set, where Appended counts live
+	// records instead.
 	Appended, Capacity int
-	// Need is how many records the failed operation would have appended.
+	// Need is how many records the failed operation would have appended
+	// (with Live set: how many live records exceed the fold capacity).
 	Need int
+	// Live marks the compaction-time form of the error: the shard's live
+	// record set itself exceeds Capacity, so no amount of log
+	// reclamation can help. Only raised with auto-compaction enabled
+	// (Config.CompactAtFill) or by an explicit Compact; the plain form
+	// means the append-only log ran out of slots.
+	Live bool
 }
 
-// Fill returns the shard log's fill fraction in [0, 1].
+// Fill returns the shard's fill fraction in [0, 1] — log fill, or live
+// fill when Live is set (then possibly above 1, clamped by nothing).
 func (e *ShardFullError) Fill() float64 {
 	if e.Capacity <= 0 {
 		return 1
@@ -149,6 +165,10 @@ func (e *ShardFullError) Fill() float64 {
 }
 
 func (e *ShardFullError) Error() string {
+	if e.Live {
+		return fmt.Sprintf("%v: shard %d holds %d live records, capacity %d — live set cannot fold, %d over",
+			ErrShardFull, e.Shard, e.Appended, e.Capacity, e.Need)
+	}
 	return fmt.Sprintf("%v: shard %d holds %d/%d records (%.0f%% full), needs %d more slot(s)",
 		ErrShardFull, e.Shard, e.Appended, e.Capacity, 100*e.Fill(), e.Need)
 }

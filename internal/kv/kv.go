@@ -97,6 +97,26 @@
 // only mean the durability invariant was broken; Recover reports it as
 // ErrDurabilityViolation instead of silently truncating acknowledged data.
 //
+// # Log compaction and checkpointing
+//
+// Shard logs are append-only, so without reclamation every shard
+// eventually exhausts its Capacity records. Compaction (compact.go,
+// docs/compaction.md) folds a shard's live index into a durable snapshot
+// — written into a double-buffered snapshot region with the store's own
+// persistence strategy (one RFlushRange over the snapshot under
+// RangedCommit, one GPF otherwise) — commits it with a durable
+// snapshot-epoch record (MStored, checksum word last: the commit point,
+// mirroring migration's move-out record), and reclaims the whole log for
+// reuse. Record checksums are bound to the snapshot epoch, so reclaimed
+// records can never validate again; deleted, overwritten and
+// migrated-away records simply do not survive the fold. Recover resolves
+// the epoch record, revalidates the snapshot, and scans the log tail on
+// top under the usual wipe/redo/ownership rules. Config.CompactAtFill
+// triggers compaction automatically at a log-fill threshold, converting
+// ShardFullError into a condition that only fires when the live set
+// itself exceeds Capacity; DB.Compact compacts on demand. Compaction
+// busy-time is charged as churn, like recovery and migration.
+//
 // # Shard map and load-aware rebalancing
 //
 // Keys do not hash to shards directly: they hash to one of Config.Buckets
@@ -128,8 +148,10 @@ import (
 // has not been recovered yet.
 var ErrShardDown = errors.New("kv: shard machine is down")
 
-// ErrShardFull is returned when a shard's log region is exhausted
-// (compaction is future work; see ROADMAP).
+// ErrShardFull is returned when a shard's log region is exhausted. With
+// Config.CompactAtFill set the store compacts instead, and the error is
+// only raised when the live record set itself exceeds the shard's
+// capacity (see docs/compaction.md).
 var ErrShardFull = errors.New("kv: shard log full")
 
 // ErrBadKey is returned for negative keys or non-positive values (value 0
@@ -232,8 +254,17 @@ type Config struct {
 	// Rebalance migrates buckets (default DefaultRebalanceThreshold;
 	// values below 1 are treated as 1).
 	RebalanceThreshold float64
-	// Capacity is the number of log records per shard (default 4096).
+	// Capacity is the number of log records per shard (default 4096). It
+	// is also the shard's live-set capacity: compaction folds at most
+	// Capacity live records into a snapshot.
 	Capacity int
+	// CompactAtFill enables automatic log compaction: when a shard's log
+	// fill fraction reaches CompactAtFill, the next append first folds the
+	// live index into a durable snapshot and reclaims the log (see
+	// docs/compaction.md) instead of pressing on toward ShardFullError.
+	// 0 (the default) disables auto-compaction — explicit Compact stays
+	// available; values above 1 are clamped to 1.
+	CompactAtFill float64
 	// Strategy selects the persistence strategy.
 	Strategy Strategy
 	// Batch is the commit batch size of the batched strategies
@@ -274,6 +305,11 @@ func (c Config) withDefaults() Config {
 	} else if c.RebalanceThreshold < 1 {
 		c.RebalanceThreshold = 1
 	}
+	if c.CompactAtFill < 0 {
+		c.CompactAtFill = 0
+	} else if c.CompactAtFill > 1 {
+		c.CompactAtFill = 1
+	}
 	if c.Capacity <= 0 {
 		c.Capacity = 4096
 	}
@@ -292,26 +328,50 @@ func (c Config) withDefaults() Config {
 // recWords is the record layout: [key, value, chk].
 const recWords = 3
 
-// chkOf is the record checksum: a function of the slot and the record's
-// content, so a partially persisted record (some words still zero or
-// stale) fails validation during the recovery scan. Always >= 1, so a
-// never-written slot (all zeros) is invalid.
-func chkOf(slot int, key, val core.Val) core.Val {
+// chkOf is the record checksum: a function of the slot, the record's
+// content and the shard's snapshot epoch, so a partially persisted record
+// (some words still zero or stale) fails validation during the recovery
+// scan — and so does a pre-compaction leftover once the epoch moves on:
+// compaction reclaims the log by bumping the epoch, which retires every
+// old record's checksum without touching the medium (see compact.go).
+// Always >= 1, so a never-written slot (all zeros) is invalid.
+func chkOf(slot int, key, val core.Val, epoch uint64) core.Val {
 	h := (uint64(slot) + 1) * 0x9e3779b97f4a7c15
 	h ^= (uint64(key) + 3) * 0xff51afd7ed558ccd
 	h ^= (uint64(val) + 7) * 0xc4ceb9fe1a85ec53
+	h ^= (epoch + 11) * 0x94d049bb133111eb
 	h ^= h >> 29
 	return core.Val(h%((1<<40)-1)) + 1
 }
 
 // moveChkOf is the checksum domain of move-marker records (bucket
 // migration bookkeeping in the log; see migrate.go). Client checksums are
-// < 2^41 and move checksums ≥ 2^41, so a recovery scan can tell the record
-// kinds apart from the checksum word alone while keeping the same
-// partial-persist detection: a half-written marker validates in neither
-// domain.
-func moveChkOf(slot int, key, val core.Val) core.Val {
-	return chkOf(slot, key, val) + (1 << 41)
+// < 2^41 and move checksums in [2^41, 2^42), so a recovery scan can tell
+// the record kinds apart from the checksum word alone while keeping the
+// same partial-persist detection: a half-written marker validates in
+// neither domain.
+func moveChkOf(slot int, key, val core.Val, epoch uint64) core.Val {
+	return chkOf(slot, key, val, epoch) + (1 << 41)
+}
+
+// snapChkOf is the checksum domain of snapshot records (>= 2^42): a
+// compaction's snapshot region is validated in its own domain so a
+// snapshot word can never be mistaken for a log record (or vice versa),
+// with the same epoch binding — an old snapshot's leftovers in the
+// double-buffered region never validate under a newer epoch.
+func snapChkOf(slot int, key, val core.Val, epoch uint64) core.Val {
+	return chkOf(slot, key, val, epoch) + (1 << 42)
+}
+
+// epochChkOf is the checksum of a snapshot-epoch record — the two-slot
+// commit record of compaction, covering the epoch number and the snapshot
+// length. Always >= 1, so the never-written initial state (all zeros) is
+// invalid and decodes as "epoch 0, no snapshot".
+func epochChkOf(epoch uint64, snapLen int) core.Val {
+	h := (epoch + 5) * 0xff51afd7ed558ccd
+	h ^= (uint64(snapLen) + 9) * 0x9e3779b97f4a7c15
+	h ^= h >> 31
+	return core.Val(h%((1<<40)-1)) + 1
 }
 
 // hashKey spreads keys over shards (Fibonacci hashing, as in ds.Map).

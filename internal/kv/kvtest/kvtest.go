@@ -41,6 +41,8 @@ func Run(t *testing.T, f Factory) {
 	t.Run("MultiGet", func(t *testing.T) { testMultiGet(t, f) })
 	t.Run("SyncCommits", func(t *testing.T) { testSyncCommits(t, f) })
 	t.Run("CrashRecoverVisibility", func(t *testing.T) { testCrashRecoverVisibility(t, f) })
+	t.Run("CompactVisibility", func(t *testing.T) { testCompactVisibility(t, f) })
+	t.Run("AutoCompactCapacity", func(t *testing.T) { testAutoCompactCapacity(t, f) })
 	t.Run("BadArguments", func(t *testing.T) { testBadArguments(t, f) })
 }
 
@@ -323,6 +325,162 @@ func testCrashRecoverVisibility(t *testing.T, f Factory) {
 			// on a healthy service.
 			if _, err := db.Rebalance(); err != nil {
 				t.Fatalf("rebalance on healthy service: %v", err)
+			}
+		})
+	}
+}
+
+// testCompactVisibility pins Compact's contract: visibility is unchanged
+// across a compaction, the compacted state survives a full crash/recovery
+// sweep, and the compaction metrics (Compactions, ReclaimedSlots) are
+// live and monotonic.
+func testCompactVisibility(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, cfgFor(strat))
+			const n = 24
+			for k := core.Val(0); k < n; k++ {
+				if _, err := db.Put(k, 100+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := core.Val(0); k < n; k += 4 {
+				if _, err := db.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := core.Val(1); k < n; k += 4 {
+				if _, err := db.Put(k, 300+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			check := func() {
+				t.Helper()
+				for k := core.Val(0); k < n; k++ {
+					want, present := 100+k, k%4 != 0
+					if k%4 == 1 {
+						want = 300 + k
+					}
+					v, ok, err := db.Get(k)
+					if err != nil || ok != present || (present && v != want) {
+						t.Fatalf("get %d = (%d, %v, %v), want (%d, %v)", k, v, ok, err, want, present)
+					}
+				}
+			}
+			check()
+
+			stats, err := db.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats) == 0 {
+				t.Fatal("Compact did nothing on a service with appended logs")
+			}
+			reclaimed := 0
+			for _, cs := range stats {
+				if cs.Shard < 0 || cs.Shard >= db.NumShards() {
+					t.Fatalf("stats name shard %d outside [0,%d)", cs.Shard, db.NumShards())
+				}
+				reclaimed += cs.Reclaimed
+			}
+			// n/4 deletes (each retiring a put and itself) and (n/4 - 1)
+			// effective overwrites guarantee dead records existed.
+			if reclaimed == 0 {
+				t.Fatal("compaction reclaimed nothing despite deletes and overwrites")
+			}
+			check()
+
+			m1 := db.Metrics()
+			if m1.Compactions == 0 || m1.ReclaimedSlots == 0 {
+				t.Fatalf("compaction metrics dead: %d compactions, %d reclaimed", m1.Compactions, m1.ReclaimedSlots)
+			}
+
+			// The compacted state is durable.
+			crashRecoverAll(t, db)
+			check()
+
+			// Metrics are monotonic across further churn and compactions.
+			for k := core.Val(0); k < n; k += 4 {
+				if _, err := db.Put(k, 700+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			m2 := db.Metrics()
+			if m2.Compactions < m1.Compactions || m2.ReclaimedSlots < m1.ReclaimedSlots {
+				t.Fatalf("compaction metrics went backwards: %+v -> %+v", m1, m2)
+			}
+			if m2.Compactions == m1.Compactions {
+				t.Fatal("second Compact with a dirty log did not compact")
+			}
+		})
+	}
+}
+
+// testAutoCompactCapacity pins the CompactAtFill contract: a workload
+// writing far more records than Shards × Capacity completes without
+// ShardFullError as long as the live set fits, and the error — still
+// matching errors.Is(err, ErrShardFull) through any wrapping — returns
+// once live data truly exceeds capacity.
+func testAutoCompactCapacity(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, kv.Config{
+				Shards: 2, Capacity: 24, CompactAtFill: 0.75,
+				Strategy: strat, Batch: 4, Seed: 41, EvictEvery: 3,
+			})
+			const keys = 16
+			total := db.NumShards() * 24
+			rounds := 2*total/keys + 2 // writes ≈ 2 × the service's total log capacity
+			for r := 0; r < rounds; r++ {
+				for k := core.Val(0); k < keys; k++ {
+					if _, err := db.Put(k, core.Val(r)*100+k+1); err != nil {
+						t.Fatalf("round %d put(%d): %v (writes must outlive capacity under auto-compaction)", r, k, err)
+					}
+				}
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			m := db.Metrics()
+			if m.Compactions == 0 || m.ReclaimedSlots == 0 {
+				t.Fatalf("no compactions after %d writes through %d total slots", rounds*keys, total)
+			}
+			for k := core.Val(0); k < keys; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok || v != core.Val(rounds-1)*100+k+1 {
+					t.Fatalf("get %d = (%d, %v, %v) after overwrite churn", k, v, ok, err)
+				}
+			}
+			// The survivors stay durable through a crash sweep.
+			crashRecoverAll(t, db)
+			for k := core.Val(0); k < keys; k++ {
+				if v, ok, err := db.Get(k); err != nil || !ok || v != core.Val(rounds-1)*100+k+1 {
+					t.Fatalf("get %d = (%d, %v, %v) after crash sweep", k, v, ok, err)
+				}
+			}
+
+			// Fresh keys grow the live set; once some shard's live records
+			// exceed its capacity no fold can fit and the error must
+			// surface, diagnosable as ever.
+			var lastErr error
+			for k := core.Val(1000); k < core.Val(1000+4*total) && lastErr == nil; k++ {
+				_, lastErr = db.Put(k, 1)
+			}
+			if !errors.Is(lastErr, kv.ErrShardFull) {
+				t.Fatalf("live set beyond capacity: got %v, want ErrShardFull", lastErr)
+			}
+			var full *kv.ShardFullError
+			if !errors.As(lastErr, &full) {
+				t.Fatalf("error does not carry *kv.ShardFullError: %v", lastErr)
 			}
 		})
 	}

@@ -172,6 +172,33 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 			return stats, err
 		}
 	}
+	// With auto-compaction enabled, make log headroom up front instead of
+	// failing: the copy needs live(b)+1 slots on the destination's log
+	// and the move-out record one slot on the source's. Nothing of the
+	// migration has been written yet, so compacting here is just the
+	// ordinary checkpoint protocol — and it must run before the live
+	// records are collected below, because it re-homes their slots onto
+	// the snapshot. A compaction error (only a live set beyond capacity)
+	// aborts the migration untouched.
+	if s.cfg.CompactAtFill > 0 {
+		need := 0
+		for k := range src.index {
+			if s.bucketOf(k) == b {
+				need++
+			}
+		}
+		if len(src.log) >= src.cap {
+			if _, err := s.compactLocked(src); err != nil {
+				return stats, err
+			}
+		}
+		if len(dst.log) > 0 && len(dst.log)+need+1 > dst.cap {
+			if _, err := s.compactLocked(dst); err != nil {
+				return stats, err
+			}
+		}
+	}
+
 	s.migrating = true
 	defer func() { s.migrating = false }()
 
@@ -193,7 +220,9 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	rt := src.thread()
 	readErr := func() error {
 		for i := range pairs {
-			v, err := rt.Load(src.valLoc(pairs[i].slot))
+			// The newest record may live in the log or — after a
+			// compaction — in the snapshot region; valLocOf dispatches.
+			v, err := rt.Load(src.valLocOf(pairs[i].slot))
 			if err != nil {
 				return err
 			}
@@ -398,12 +427,18 @@ func (s *Store) Rebalance() ([]MigrationStats, error) {
 		// Hottest bucket on the hot shard whose move strictly lowers the
 		// makespan: a bucket so hot that the cold shard plus it would
 		// exceed the hot shard's current share is left in place (moving
-		// it would only relocate the bottleneck). Buckets whose copies
-		// would eat into the destination's last quarter of log capacity
-		// are skipped too — inbound copies must never starve client
-		// appends (reclaiming dead source records is log compaction's
-		// job, not the rebalancer's).
+		// it would only relocate the bottleneck). Buckets that would eat
+		// into the destination's last quarter of capacity are skipped too
+		// — inbound copies must never starve client appends. Without
+		// auto-compaction the headroom is raw log fill; with it
+		// (Config.CompactAtFill), dead log records are reclaimable on
+		// demand, so the binding constraint is the destination's live
+		// set instead.
 		cdst := s.shards[cold]
+		fill := len(cdst.log)
+		if s.cfg.CompactAtFill > 0 {
+			fill = len(cdst.index)
+		}
 		best, bestW := -1, 0.0
 		for b, owner := range s.shardMap {
 			if owner != hot {
@@ -413,7 +448,7 @@ func (s *Store) Rebalance() ([]MigrationStats, error) {
 			if w <= bestW || delta[cold]+w >= delta[hot] {
 				continue
 			}
-			if len(cdst.log)+counts[b]+1 > cdst.cap-cdst.cap/4 {
+			if fill+counts[b]+1 > cdst.cap-cdst.cap/4 {
 				continue
 			}
 			best, bestW = b, w

@@ -575,6 +575,309 @@ func TestMigrationRedoSupersededByLaterWrites(t *testing.T) {
 	}
 }
 
+// testCompactionCrashAt runs one shard compaction with a crash injected
+// at the given checkpoint and checks the compaction contract: every
+// acknowledged write survives (served with its exact value — old state if
+// the crash aborted the compaction, identical state if it committed),
+// ownership stays single-shard, and the service keeps serving, compacting
+// and recovering afterwards.
+func testCompactionCrashAt(t *testing.T, strat Strategy, variant core.Variant, step CompactStep) {
+	const maxKey = 30
+	st, err := Open(Config{
+		Shards:     2,
+		Buckets:    8,
+		Capacity:   128,
+		Strategy:   strat,
+		Batch:      3,
+		Variant:    variant,
+		EvictEvery: 2,
+		Seed:       int64(strat)*1000 + int64(variant)*100 + int64(step)*10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[core.Val]core.Val{}
+	for k := core.Val(0); k <= maxKey; k++ {
+		if _, err := st.Put(k, 100+k); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = 100 + k
+	}
+	for k := core.Val(0); k <= maxKey; k += 7 {
+		if _, err := st.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	for k := core.Val(1); k <= maxKey; k += 5 {
+		if _, err := st.Put(k, 200+k); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = 200 + k
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving write above is acknowledged durable from here on.
+
+	target := st.ShardOf(1)
+	fired := false
+	st.compactHook = func(s CompactStep) {
+		if s != step || fired {
+			return
+		}
+		fired = true
+		st.crashLocked(target)
+	}
+	_, compErr := st.CompactShard(target)
+	st.compactHook = nil
+	if !fired {
+		t.Fatalf("hook never fired at %v", step)
+	}
+	// Aborting (compErr != nil) and committing are both legal outcomes of
+	// a mid-compaction crash; what must hold afterwards is the contract
+	// below.
+	if st.shards[target].down {
+		if _, err := st.Recover(target); err != nil {
+			t.Fatalf("recover shard %d (compact err %v): %v", target, compErr, err)
+		}
+	}
+	verifyMigrated(t, st, want, maxKey)
+
+	// The service must keep serving and compacting: overwrite and delete
+	// more keys (so a stale snapshot or log leftover would be caught as a
+	// resurrection), compact again, and survive one more crash/recover
+	// round per shard.
+	for k := core.Val(2); k <= maxKey; k += 3 {
+		if _, ok := want[k]; !ok {
+			continue
+		}
+		if _, err := st.Put(k, 900+k); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = 900 + k
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CompactShard(target); err != nil {
+		t.Fatalf("follow-up compaction: %v", err)
+	}
+	if st.SnapshotEpoch(target) == 0 {
+		t.Fatal("no snapshot epoch committed by the follow-up compaction")
+	}
+	verifyMigrated(t, st, want, maxKey)
+	for i := range st.shards {
+		st.Crash(i)
+		if _, err := st.Recover(i); err != nil {
+			t.Fatalf("post-compaction recover shard %d: %v", i, err)
+		}
+	}
+	verifyMigrated(t, st, want, maxKey)
+}
+
+// TestCompactionCrashSteps crashes the compacting shard at every
+// checkpoint of a compaction — before/mid/after the snapshot write,
+// before/after the epoch-record commit, after the reclaim — across all
+// six persistence strategies and all three hardware variants:
+// acknowledged writes must survive, state must resolve to old-or-new
+// (never garbage), and the service must keep compacting.
+func TestCompactionCrashSteps(t *testing.T) {
+	steps := []CompactStep{
+		StepBeforeSnapshot, StepMidSnapshot, StepAfterSnapshot,
+		StepBeforeEpoch, StepAfterEpoch, StepAfterReclaim,
+	}
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		for _, strat := range Strategies {
+			for _, step := range steps {
+				t.Run(fmt.Sprintf("%v/%v/%v", variant, strat, step), func(t *testing.T) {
+					testCompactionCrashAt(t, strat, variant, step)
+				})
+			}
+		}
+	}
+}
+
+// testAutoCompactChurn is the randomized layer over auto-compaction:
+// random put/delete/get/crash streams against a capacity-constrained
+// store with CompactAtFill set, checked against a reference model that
+// tracks, per shard, which writes are committed (required) and which are
+// still pending (whose post-crash value may be any prefix state: old or
+// new, never garbage). Compactions interleave invisibly — the test's
+// assertions are exactly the client-visible contract.
+func testAutoCompactChurn(t *testing.T, strat Strategy, variant core.Variant, compactions *uint64) {
+	const maxKey = 10
+	f := func(seed int64, opsRaw []byte) bool {
+		st, err := Open(Config{
+			Shards:        2,
+			Capacity:      12,
+			CompactAtFill: 0.6,
+			Strategy:      strat,
+			Batch:         3,
+			Variant:       variant,
+			EvictEvery:    2,
+			Seed:          seed,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := map[core.Val]core.Val{}             // required (committed) state; 0 = absent
+		pending := make([][]modelOp, st.NumShards()) // uncommitted writes per shard, in order
+		foldPending := func(shard int, k core.Val, upto int) core.Val {
+			v := model[k]
+			for i, op := range pending[shard] {
+				if i >= upto {
+					break
+				}
+				if op.key == k {
+					v = op.val
+				}
+			}
+			return v
+		}
+		commitShard := func(shard int) {
+			for _, op := range pending[shard] {
+				if op.val == 0 {
+					delete(model, op.key)
+				} else {
+					model[op.key] = op.val
+				}
+			}
+			pending[shard] = nil
+		}
+		for i, b := range opsRaw {
+			if i > 70 {
+				break
+			}
+			k := core.Val(int(b) % (maxKey + 1))
+			shard := st.ShardOf(k)
+			switch (b / 16) % 5 {
+			case 0, 1:
+				v := core.Val(1 + int(b)%90 + i)
+				ack, err := st.Put(k, v)
+				if err != nil {
+					t.Logf("op %d put(%d): %v", i, k, err)
+					return false
+				}
+				pending[shard] = append(pending[shard], modelOp{k, v})
+				if ack.Durable {
+					commitShard(shard)
+				}
+			case 2:
+				ack, err := st.Delete(k)
+				if err != nil {
+					t.Logf("op %d delete(%d): %v", i, k, err)
+					return false
+				}
+				pending[shard] = append(pending[shard], modelOp{k, 0})
+				if ack.Durable {
+					commitShard(shard)
+				}
+			case 3:
+				// Visible state is exact: required state plus every pending
+				// write applied in order (dirty reads, like an unflushed
+				// RStore'd value).
+				wv := foldPending(shard, k, len(pending[shard]))
+				v, ok, err := st.Get(k)
+				if err != nil {
+					t.Logf("op %d get(%d): %v", i, k, err)
+					return false
+				}
+				if ok != (wv != 0) || (ok && v != wv) {
+					t.Logf("op %d: get(%d) = (%d,%v), model %d", i, k, v, ok, wv)
+					return false
+				}
+			default:
+				target := rng.Intn(st.NumShards())
+				if rng.Intn(3) == 0 {
+					st.Cluster().Churn(4)
+					continue
+				}
+				st.Crash(target)
+				if _, err := st.Recover(target); err != nil {
+					t.Logf("op %d recover(%d): %v", i, target, err)
+					return false
+				}
+				// Resolve the surviving state: recovery keeps a prefix of
+				// the shard's pending writes, so each key must read as the
+				// state after some prefix — old or new, never garbage —
+				// and whatever it reads is durable (re-persisted) now.
+				for k := core.Val(0); k <= maxKey; k++ {
+					if st.ShardOf(k) != target {
+						continue
+					}
+					v, ok, err := st.Get(k)
+					if err != nil {
+						t.Logf("op %d post-recovery get(%d): %v", i, k, err)
+						return false
+					}
+					legal := false
+					for upto := 0; upto <= len(pending[target]); upto++ {
+						wv := foldPending(target, k, upto)
+						if ok == (wv != 0) && (!ok || v == wv) {
+							legal = true
+							break
+						}
+					}
+					if !legal {
+						t.Logf("op %d: key %d = (%d,%v) after recovery matches no prefix state", i, k, v, ok)
+						return false
+					}
+					if ok {
+						model[k] = v
+					} else {
+						delete(model, k)
+					}
+				}
+				pending[target] = nil
+			}
+		}
+		if err := st.Sync(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for shard := range pending {
+			commitShard(shard)
+		}
+		for k := core.Val(0); k <= maxKey; k++ {
+			v, ok, err := st.Get(k)
+			if err != nil {
+				t.Logf("final get(%d): %v", k, err)
+				return false
+			}
+			wv, wok := model[k]
+			if ok != wok || (ok && v != wv) {
+				t.Logf("final: get(%d) = (%d,%v), model (%d,%v)", k, v, ok, wv, wok)
+				return false
+			}
+		}
+		*compactions += st.Metrics().Compactions
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(int64(strat)*37 + int64(variant)))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCompactCrashChurnProperty runs the randomized auto-compaction
+// property for every strategy × variant, and requires the runs to have
+// actually compacted (the capacity is sized so the streams overflow it).
+func TestAutoCompactCrashChurnProperty(t *testing.T) {
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		for _, strat := range Strategies {
+			t.Run(fmt.Sprintf("%v/%v", variant, strat), func(t *testing.T) {
+				var compactions uint64
+				testAutoCompactChurn(t, strat, variant, &compactions)
+				if compactions == 0 {
+					t.Fatal("no run auto-compacted; the property never exercised compaction")
+				}
+			})
+		}
+	}
+}
+
 // TestRecoveryAfterDoubleCrash exercises the log-truncation path: a crash
 // with unacknowledged pending writes, recovery, more writes reusing the
 // truncated slots, and a second crash — stale records from the first

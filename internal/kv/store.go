@@ -32,8 +32,12 @@ type RecoveryStats struct {
 	// Shard is the recovered shard.
 	Shard int
 	// Recovered is the number of log records that survived (the durable —
-	// or still-visible — prefix).
+	// or still-visible — prefix). Records folded into a snapshot by an
+	// earlier compaction are counted in Snapshot, not here.
 	Recovered int
+	// Snapshot is the number of committed snapshot records the recovery
+	// revalidated (0 when the shard never compacted).
+	Snapshot int
 	// Lost is the number of appended records the crash destroyed.
 	Lost int
 	// DroppedPending is the number of unacknowledged batched writes
@@ -57,37 +61,50 @@ type rec struct {
 	move, copied bool
 }
 
-// chk returns the record's checksum word for slot, in the domain matching
-// its kind.
-func (r rec) chk(slot int) core.Val {
+// chk returns the record's checksum word for slot under the shard's
+// snapshot epoch, in the domain matching its kind.
+func (r rec) chk(slot int, epoch uint64) core.Val {
 	if r.move {
-		return moveChkOf(slot, r.key, r.val)
+		return moveChkOf(slot, r.key, r.val, epoch)
 	}
-	return chkOf(slot, r.key, r.val)
+	return chkOf(slot, r.key, r.val, epoch)
 }
 
-// shard is one hash partition: a log region on one machine plus the
-// volatile index over it.
+// shard is one hash partition: a log region, a double-buffered snapshot
+// region and a two-slot snapshot-epoch record on one machine, plus the
+// volatile index over them.
 type shard struct {
 	id      int
 	machine core.MachineID
 	base    core.LocID
 	cap     int
+	// snapBase are the two snapshot regions (each cap records): the
+	// snapshot of epoch e lives in region e%2, so writing the next
+	// snapshot never disturbs the committed one. epochBase is the two-slot
+	// snapshot-epoch record (the compaction commit record, parity-
+	// addressed the same way).
+	snapBase  [2]core.LocID
+	epochBase core.LocID
 
 	threads []*memsim.Thread
 	rr      int
 
-	index   map[core.Val]int // key -> slot of newest live record
-	log     []rec            // appended records, slot-ordered
-	acked   int              // records [0, acked) are acknowledged durable
-	pending int              // batched records awaiting their batch's commit flush
-	batchE  uint64           // shard-machine crash epoch when the open batch began
+	index map[core.Val]int // key -> encoded slot of newest live record (see valLocOf)
+	log   []rec            // appended records, slot-ordered
+	// snap mirrors the committed snapshot's records (slot-ordered live
+	// puts; no tombstones, no markers) and epoch is the committed
+	// snapshot epoch (0 = never compacted).
+	snap    []rec
+	epoch   uint64
+	acked   int    // log records [0, acked) are acknowledged durable
+	pending int    // batched records awaiting their batch's commit flush
+	batchE  uint64 // shard-machine crash epoch when the open batch began
 	down    bool
 	busyNS  float64 // simulated time this shard's operations consumed
-	// churnNS is the part of busyNS spent on crash recovery and bucket
-	// migration — exogenous, one-off costs that say nothing about where
-	// traffic is placed. The placement-skew metric and the rebalancer's
-	// load windows exclude it.
+	// churnNS is the part of busyNS spent on crash recovery, bucket
+	// migration and log compaction — exogenous, one-off costs that say
+	// nothing about where traffic is placed. The placement-skew metric and
+	// the rebalancer's load windows exclude it.
 	churnNS  float64
 	writeLat []float64 // ack latencies of acknowledged writes
 }
@@ -95,6 +112,34 @@ type shard struct {
 func (sh *shard) keyLoc(slot int) core.LocID { return sh.base + core.LocID(slot*recWords) }
 func (sh *shard) valLoc(slot int) core.LocID { return sh.base + core.LocID(slot*recWords+1) }
 func (sh *shard) chkLoc(slot int) core.LocID { return sh.base + core.LocID(slot*recWords+2) }
+
+// Snapshot-region locations, addressed by the epoch whose snapshot they
+// hold (region epoch%2).
+func (sh *shard) snapKeyLoc(epoch uint64, slot int) core.LocID {
+	return sh.snapBase[epoch%2] + core.LocID(slot*recWords)
+}
+func (sh *shard) snapValLoc(epoch uint64, slot int) core.LocID {
+	return sh.snapBase[epoch%2] + core.LocID(slot*recWords+1)
+}
+func (sh *shard) snapChkLoc(epoch uint64, slot int) core.LocID {
+	return sh.snapBase[epoch%2] + core.LocID(slot*recWords+2)
+}
+
+// epochLoc addresses word w of the epoch-record slot with the given
+// parity.
+func (sh *shard) epochLoc(parity uint64, w int) core.LocID {
+	return sh.epochBase + core.LocID(int(parity)*epochWords+w)
+}
+
+// valLocOf resolves an index entry to its value location: entries below
+// cap are log slots, entries at cap and above are slots of the current
+// snapshot (compaction re-homes live records there).
+func (sh *shard) valLocOf(slot int) core.LocID {
+	if slot >= sh.cap {
+		return sh.snapValLoc(sh.epoch, slot-sh.cap)
+	}
+	return sh.valLoc(slot)
+}
 
 func (sh *shard) thread() *memsim.Thread {
 	t := sh.threads[sh.rr%len(sh.threads)]
@@ -124,7 +169,16 @@ type Metrics struct {
 	Recoveries      uint64
 	Migrations      uint64 // completed bucket migrations
 	MigratedRecords uint64 // live records copied by completed migrations
-	RecoveryNS      []float64
+	// Compactions counts committed shard compactions and ReclaimedSlots
+	// the log and old-snapshot slots they retired (deleted, overwritten
+	// and migrated-away records, plus superseded snapshot entries). Both
+	// are cumulative and only ever grow.
+	Compactions    uint64
+	ReclaimedSlots uint64
+	RecoveryNS     []float64
+	// CompactionNS are the simulated durations of committed compactions
+	// (charged to the compacted shard as churn, like recovery time).
+	CompactionNS []float64
 	// PerShardBusyNS is each shard's accumulated simulated busy time.
 	// Shards run on distinct machines, so the service-level makespan under
 	// perfect parallelism is the maximum entry. Global operations (GPF)
@@ -221,16 +275,23 @@ type Store struct {
 	recoveries                 uint64
 	migrations                 uint64
 	migratedRecords            uint64
+	compactions                uint64
+	reclaimedSlots             uint64
 	recoveryNS                 []float64
+	compactionNS               []float64
 
-	// migrating is true while a bucket migration is writing and flushing
-	// its copies and markers, so shared flush paths (flushPending's GPF
-	// cross-charge) can classify their cost as churn.
-	migrating bool
+	// migrating (resp. compacting) is true while a bucket migration (resp.
+	// a log compaction) is writing and flushing its records, so shared
+	// flush paths (flushPending's GPF cross-charge) can classify their
+	// cost as churn.
+	migrating  bool
+	compacting bool
 
-	// migrateHook, when set (tests only), is called at each checkpoint of
-	// a bucket migration with the store lock held.
+	// migrateHook and compactHook, when set (tests only), are called at
+	// each checkpoint of a bucket migration / shard compaction with the
+	// store lock held.
 	migrateHook func(step MigrateStep)
+	compactHook func(step CompactStep)
 }
 
 // Open builds the cluster (one front-end machine plus one machine per
@@ -245,7 +306,8 @@ func Open(cfg Config) (*Store, error) {
 		machines = append(machines, memsim.MachineConfig{
 			Name: fmt.Sprintf("shard%d", i),
 			Mem:  core.NonVolatile,
-			Heap: cfg.Capacity * recWords,
+			// Log region, two snapshot regions, two epoch-record slots.
+			Heap: 3*cfg.Capacity*recWords + 2*epochWords,
 		})
 	}
 	cluster := memsim.NewCluster(machines, memsim.Config{
@@ -278,6 +340,18 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		sh.base = base
+		for r := 0; r < 2; r++ {
+			snapBase, err := cluster.Alloc(sh.machine, cfg.Capacity*recWords)
+			if err != nil {
+				return nil, err
+			}
+			sh.snapBase[r] = snapBase
+		}
+		epochBase, err := cluster.Alloc(sh.machine, 2*epochWords)
+		if err != nil {
+			return nil, err
+		}
+		sh.epochBase = epochBase
 		if err := s.spawnThreads(sh); err != nil {
 			return nil, err
 		}
@@ -362,16 +436,11 @@ func (s *Store) AppendedCount(i int) int {
 func (s *Store) writeRecord(sh *shard, slot int, r rec) error {
 	t := sh.thread()
 	locs := [recWords]core.LocID{sh.keyLoc(slot), sh.valLoc(slot), sh.chkLoc(slot)}
-	vals := [recWords]core.Val{r.key, r.val, r.chk(slot)}
+	vals := [recWords]core.Val{r.key, r.val, r.chk(slot, sh.epoch)}
 
 	switch s.cfg.Strategy {
 	case MStoreEach:
-		for i, l := range locs {
-			if err := t.MStore(l, vals[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return mstoreWords(t, locs[:], vals[:])
 
 	case StoreFlush, RStoreFlush:
 		// Store-then-flush has a window in which the owner's crash destroys
@@ -380,24 +449,8 @@ func (s *Store) writeRecord(sh *shard, slot int, r rec) error {
 		// PrivateStore idiom) is sound.
 		for {
 			epoch := s.cluster.Epoch(sh.machine)
-			for i, l := range locs {
-				var err error
-				if s.cfg.Strategy == RStoreFlush {
-					err = t.RStore(l, vals[i])
-				} else {
-					err = t.LStore(l, vals[i])
-				}
-				if err != nil {
-					return err
-				}
-				if s.cfg.Strategy == StoreFlush && t.Machine() == sh.machine {
-					err = t.LFlush(l)
-				} else {
-					err = t.RFlush(l)
-				}
-				if err != nil {
-					return err
-				}
+			if err := s.storeFlushWords(t, sh, locs[:], vals[:]); err != nil {
+				return err
 			}
 			if s.cluster.Epoch(sh.machine) == epoch {
 				return nil
@@ -410,7 +463,7 @@ func (s *Store) writeRecord(sh *shard, slot int, r rec) error {
 			if err := lstoreRecord(t, sh, slot, r); err != nil {
 				return err
 			}
-			if err := s.gpf(sh, t, s.migrating); err != nil {
+			if err := s.gpf(sh, t, s.migrating || s.compacting); err != nil {
 				return err
 			}
 			if s.cluster.Epoch(sh.machine) == epoch {
@@ -431,11 +484,51 @@ func (s *Store) writeRecord(sh *shard, slot int, r rec) error {
 	return fmt.Errorf("kv: unknown strategy %v", s.cfg.Strategy)
 }
 
+// mstoreWords persists each word with MStore — MStoreEach's per-record
+// write, shared between the log and snapshot writers.
+func mstoreWords(t *memsim.Thread, locs []core.LocID, vals []core.Val) error {
+	for i, l := range locs {
+		if err := t.MStore(l, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeFlushWords writes and persists each word with the store+flush
+// idiom (RStore or LStore per the strategy, then the owner's LFlush when
+// the worker is colocated under StoreFlush, RFlush otherwise) — one pass,
+// shared between the log and snapshot writers. The caller owns the crash
+// policy: writeRecord wraps it in the epoch-guarded retry, writeSnapshot
+// aborts instead (the snapshot is uncommitted until its epoch record).
+func (s *Store) storeFlushWords(t *memsim.Thread, sh *shard, locs []core.LocID, vals []core.Val) error {
+	for i, l := range locs {
+		var err error
+		if s.cfg.Strategy == RStoreFlush {
+			err = t.RStore(l, vals[i])
+		} else {
+			err = t.LStore(l, vals[i])
+		}
+		if err != nil {
+			return err
+		}
+		if s.cfg.Strategy == StoreFlush && t.Machine() == sh.machine {
+			err = t.LFlush(l)
+		} else {
+			err = t.RFlush(l)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // lstoreRecord writes the record at slot into the worker's cache (visible,
 // not yet durable) — the batched strategies' enqueue and re-issue path.
 func lstoreRecord(t *memsim.Thread, sh *shard, slot int, r rec) error {
 	locs := [recWords]core.LocID{sh.keyLoc(slot), sh.valLoc(slot), sh.chkLoc(slot)}
-	vals := [recWords]core.Val{r.key, r.val, r.chk(slot)}
+	vals := [recWords]core.Val{r.key, r.val, r.chk(slot, sh.epoch)}
 	for i, l := range locs {
 		if err := t.LStore(l, vals[i]); err != nil {
 			return err
@@ -514,7 +607,7 @@ func (s *Store) flushPending(sh *shard) error {
 		if s.cfg.Strategy == RangedCommit {
 			err = s.rflushSlots(sh, t, len(sh.log)-sh.pending, len(sh.log))
 		} else {
-			err = s.gpf(sh, t, s.migrating)
+			err = s.gpf(sh, t, s.migrating || s.compacting)
 		}
 		if err != nil {
 			return err
@@ -569,6 +662,16 @@ func (s *Store) commitLocked(sh *shard) error {
 func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	if sh.down {
 		return Ack{}, ErrShardDown
+	}
+	// Auto-compaction runs before this append's span stamp: compactLocked
+	// charges its own time as churn, and charging it inside the append's
+	// elapsed span too would double-count it as traffic — including when
+	// the append is one record of an Apply batch (see TestAutoCompact
+	// MidBatchAccounting).
+	if s.cfg.CompactAtFill > 0 && len(sh.log) >= s.compactThreshold(sh.cap) {
+		if _, err := s.compactLocked(sh); err != nil {
+			return Ack{}, err
+		}
 	}
 	if len(sh.log) >= sh.cap {
 		return Ack{}, &ShardFullError{Shard: sh.id, Appended: len(sh.log), Capacity: sh.cap, Need: 1}
@@ -652,7 +755,7 @@ func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 		return 0, false, nil
 	}
 	start := s.cluster.NowNS()
-	v, err := sh.thread().Load(sh.valLoc(slot))
+	v, err := sh.thread().Load(sh.valLocOf(slot))
 	span := s.cluster.NowNS() - start
 	sh.busyNS += span
 	s.bucketWin[s.bucketOf(key)] += span
@@ -776,7 +879,7 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	out := make([]Pair, 0, len(cands))
 	for _, c := range cands {
 		start := s.cluster.NowNS()
-		v, err := c.sh.thread().Load(c.sh.valLoc(c.slot))
+		v, err := c.sh.thread().Load(c.sh.valLocOf(c.slot))
 		span := s.cluster.NowNS() - start
 		c.sh.busyNS += span
 		s.bucketWin[s.bucketOf(c.key)] += span
@@ -857,15 +960,19 @@ func (s *Store) replayRecord(index map[core.Val]int, slot int, r rec, onlyBucket
 	}
 }
 
-// Recover restarts shard i after a crash: it scans the shard's log from
-// the surviving state, truncates at the first incompletely persisted
-// record, rebuilds the volatile index from what the scan read, drops any
-// unacknowledged batched writes, and re-persists the recovered prefix —
-// with one GPF, or under RangedCommit with one ranged flush over the
-// shard's own recovered log lines, so even recovery stays off the rest of
-// the fabric. Bucket-migration markers found in the log drive the wipe,
-// redo and ownership rules that keep the shard map crash-consistent (see
-// migrate.go and docs/rebalancing.md).
+// Recover restarts shard i after a crash: it resolves the shard's
+// snapshot-epoch record (the compaction commit record — MStored, so its
+// two slots are unconditionally durable and the valid one with the
+// highest epoch is authoritative), revalidates the committed snapshot,
+// scans the shard's log tail from the surviving state, truncates at the
+// first incompletely persisted record, rebuilds the volatile index from
+// snapshot plus scan, drops any unacknowledged batched writes, and
+// re-persists the recovered log prefix — with one GPF, or under
+// RangedCommit with one ranged flush over the shard's own recovered log
+// lines, so even recovery stays off the rest of the fabric. Bucket-
+// migration markers found in the log drive the wipe, redo and ownership
+// rules that keep the shard map crash-consistent (see migrate.go and
+// docs/rebalancing.md).
 func (s *Store) Recover(i int) (RecoveryStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -882,10 +989,52 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 	ackedBefore := sh.acked
 	start := s.cluster.NowNS()
 
-	// Scan: accept records until the first one whose checksum does not
+	// Resolve the snapshot-epoch record from the medium. It was MStored —
+	// persistent the moment it was written — so it must agree with the
+	// front-end's committed view; any divergence means the compaction
+	// commit record was lost, which no crash can cause.
+	epoch, snapLen, err := s.readEpochRecord(sh, t)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	if epoch != sh.epoch || snapLen != len(sh.snap) {
+		return RecoveryStats{}, fmt.Errorf(
+			"%w: shard %d snapshot-epoch record reads (epoch %d, %d records), committed state is (epoch %d, %d records)",
+			ErrDurabilityViolation, i, epoch, snapLen, sh.epoch, len(sh.snap))
+	}
+
+	// Revalidate the committed snapshot: every record was durable at the
+	// epoch commit, so all snapLen of them must validate in the snapshot
+	// domain under the committed epoch.
+	snapScanned := make([]rec, 0, snapLen)
+	for slot := 0; slot < snapLen; slot++ {
+		k, err := t.Load(sh.snapKeyLoc(epoch, slot))
+		if err != nil {
+			return RecoveryStats{}, err
+		}
+		v, err := t.Load(sh.snapValLoc(epoch, slot))
+		if err != nil {
+			return RecoveryStats{}, err
+		}
+		chk, err := t.Load(sh.snapChkLoc(epoch, slot))
+		if err != nil {
+			return RecoveryStats{}, err
+		}
+		if chk != snapChkOf(slot, k, v, epoch) {
+			return RecoveryStats{}, fmt.Errorf(
+				"%w: shard %d snapshot record %d of %d (epoch %d) failed validation",
+				ErrDurabilityViolation, i, slot, snapLen, epoch)
+		}
+		snapScanned = append(snapScanned, rec{key: k, val: v})
+	}
+
+	// Scan: accept log records until the first one whose checksum does not
 	// match its content in either domain (client records validate under
-	// chkOf, move markers under moveChkOf). Acknowledged records are all
-	// durable, so the cut can only fall in the unacknowledged tail.
+	// chkOf, move markers under moveChkOf) for the committed epoch — a
+	// pre-compaction leftover carries an older epoch's checksum and cuts
+	// the scan exactly where the reclaimed log ends. Acknowledged records
+	// are all durable, so the cut can only fall in the unacknowledged
+	// tail.
 	cut := 0
 	scanned := make([]rec, 0, appended)
 scan:
@@ -904,8 +1053,8 @@ scan:
 		}
 		r := rec{key: k, val: v}
 		switch chk {
-		case chkOf(slot, k, v):
-		case moveChkOf(slot, k, v):
+		case chkOf(slot, k, v, epoch):
+		case moveChkOf(slot, k, v, epoch):
 			r.move = true
 		default:
 			break scan
@@ -993,10 +1142,17 @@ scan:
 		}
 	}
 
-	// Rebuild the index from what the scan actually read, under the
-	// move-marker wipe rule (see replayRecord); superseded markers are
-	// inert.
+	// Rebuild the index from what the scans actually read: the snapshot's
+	// records first (they predate every log record — compaction folded
+	// them before the reclaimed log restarted), then the log replay under
+	// the move-marker wipe rule (see replayRecord); superseded markers are
+	// inert. A marker's wipe covers the snapshot-derived entries of its
+	// bucket too, exactly as it covers earlier log records.
 	sh.index = map[core.Val]int{}
+	for slot, r := range snapScanned {
+		sh.index[r.key] = sh.cap + slot
+	}
+	sh.snap = snapScanned
 	for slot, r := range scanned {
 		if superseded[slot] {
 			continue
@@ -1077,6 +1233,7 @@ scan:
 	return RecoveryStats{
 		Shard:          i,
 		Recovered:      cut,
+		Snapshot:       snapLen,
 		Lost:           appended - cut,
 		DroppedPending: droppedPending,
 		SimNS:          simNS,
@@ -1101,7 +1258,10 @@ func (s *Store) Metrics() Metrics {
 		Recoveries:      s.recoveries,
 		Migrations:      s.migrations,
 		MigratedRecords: s.migratedRecords,
+		Compactions:     s.compactions,
+		ReclaimedSlots:  s.reclaimedSlots,
 		RecoveryNS:      append([]float64(nil), s.recoveryNS...),
+		CompactionNS:    append([]float64(nil), s.compactionNS...),
 	}
 	for _, sh := range s.shards {
 		m.PerShardBusyNS = append(m.PerShardBusyNS, sh.busyNS)
@@ -1121,7 +1281,8 @@ func (s *Store) ResetMetrics() {
 	s.multiGets, s.batches = 0, 0
 	s.scannedPairs, s.commits, s.dropped, s.recoveries = 0, 0, 0, 0
 	s.ackedWrites, s.migrations, s.migratedRecords = 0, 0, 0
-	s.recoveryNS = nil
+	s.compactions, s.reclaimedSlots = 0, 0
+	s.recoveryNS, s.compactionNS = nil, nil
 	for _, sh := range s.shards {
 		sh.busyNS = 0
 		sh.churnNS = 0

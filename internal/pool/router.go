@@ -332,6 +332,24 @@ func (r *Router) Sync() error {
 	return nil
 }
 
+// Compact runs each cluster's log compaction — entirely cluster-local
+// machinery, like Rebalance — and returns the union of per-shard stats
+// with shard indices lifted to the global space.
+func (r *Router) Compact() ([]kv.CompactionStats, error) {
+	var all []kv.CompactionStats
+	for c, st := range r.stores {
+		stats, err := st.Compact()
+		for i := range stats {
+			stats[i].Shard = r.globalShard(c, stats[i].Shard)
+		}
+		all = append(all, stats...)
+		if err != nil {
+			return all, clusterErr(c, err)
+		}
+	}
+	return all, nil
+}
+
 // NumShards returns the total shard count across clusters.
 func (r *Router) NumShards() int { return r.nShards }
 
@@ -395,7 +413,10 @@ func (r *Router) Metrics() kv.Metrics {
 		agg.Recoveries += m.Recoveries
 		agg.Migrations += m.Migrations
 		agg.MigratedRecords += m.MigratedRecords
+		agg.Compactions += m.Compactions
+		agg.ReclaimedSlots += m.ReclaimedSlots
 		agg.RecoveryNS = append(agg.RecoveryNS, m.RecoveryNS...)
+		agg.CompactionNS = append(agg.CompactionNS, m.CompactionNS...)
 		agg.PerShardBusyNS = append(agg.PerShardBusyNS, m.PerShardBusyNS...)
 		agg.PerShardChurnNS = append(agg.PerShardChurnNS, m.PerShardChurnNS...)
 		agg.WriteLatencies = append(agg.WriteLatencies, m.WriteLatencies...)

@@ -371,3 +371,64 @@ func TestRouterThroughputScalesWithClusters(t *testing.T) {
 		t.Fatalf("4-cluster makespan %.0f not below 1-cluster %.0f", four, one)
 	}
 }
+
+// TestRouterCompactGlobalIndices: Compact passes through to every
+// cluster's compaction, returns stats carrying global shard indices, and
+// the aggregate metrics sum the per-cluster compaction counters.
+func TestRouterCompactGlobalIndices(t *testing.T) {
+	r := openTest(t, Config{Clusters: 2, Store: kv.Config{Shards: 2, Strategy: kv.RangedCommit, Batch: 4, Capacity: 128, Seed: 13}})
+	// Touch every shard of every cluster, with overwrite churn so each
+	// compaction reclaims something.
+	for round := 0; round < 3; round++ {
+		for k := core.Val(0); k < 64; k++ {
+			if _, err := r.Put(k, core.Val(round)*100+k+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != r.NumShards() {
+		t.Fatalf("compacted %d shards of %d", len(stats), r.NumShards())
+	}
+	seen := map[int]bool{}
+	reclaimed := 0
+	for _, cs := range stats {
+		if cs.Shard < 0 || cs.Shard >= r.NumShards() {
+			t.Fatalf("stats carry local shard index %d, want global [0,%d)", cs.Shard, r.NumShards())
+		}
+		if seen[cs.Shard] {
+			t.Fatalf("shard %d compacted twice in one call", cs.Shard)
+		}
+		seen[cs.Shard] = true
+		reclaimed += cs.Reclaimed
+	}
+	if reclaimed == 0 {
+		t.Fatal("overwrite churn reclaimed nothing")
+	}
+	m := r.Metrics()
+	if int(m.Compactions) != r.NumShards() || int(m.ReclaimedSlots) != reclaimed {
+		t.Fatalf("aggregate metrics %d compactions / %d reclaimed, want %d / %d",
+			m.Compactions, m.ReclaimedSlots, r.NumShards(), reclaimed)
+	}
+	if len(m.CompactionNS) != r.NumShards() {
+		t.Fatalf("%d compaction durations pooled, want %d", len(m.CompactionNS), r.NumShards())
+	}
+	// Visibility unchanged across the pooled compaction, and durable.
+	for i := 0; i < r.NumShards(); i++ {
+		r.Crash(i)
+		if _, err := r.Recover(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := core.Val(0); k < 64; k++ {
+		if v, ok, err := r.Get(k); err != nil || !ok || v != 200+k+1 {
+			t.Fatalf("get %d = (%d, %v, %v) after pooled compaction", k, v, ok, err)
+		}
+	}
+}

@@ -51,6 +51,11 @@ type Result struct {
 	Batch    int    `json:"batch,omitempty"`
 	Colocate bool   `json:"colocate,omitempty"`
 	Seed     int64  `json:"seed"`
+	// Capacity echoes an explicitly constrained per-shard log capacity
+	// (0 = the runner's worst-case auto-sizing) and CompactAtFill the
+	// auto-compaction threshold, for capacity-pressure rows.
+	Capacity      int     `json:"capacity,omitempty"`
+	CompactAtFill float64 `json:"compact_at_fill,omitempty"`
 
 	Ops     int `json:"ops"`
 	Reads   int `json:"reads"`
@@ -89,6 +94,14 @@ type Result struct {
 	RebalanceEvery  int     `json:"rebalance_every"`
 	Migrations      int     `json:"migrations"`
 	MigratedRecords int     `json:"migrated_records"`
+
+	// Log compaction. Compactions counts committed shard compactions and
+	// ReclaimedSlots the dead records they retired; CompactionMeanNS is
+	// the mean simulated compaction duration (charged as churn, like
+	// recovery time).
+	Compactions      int     `json:"compactions"`
+	ReclaimedSlots   int     `json:"reclaimed_slots"`
+	CompactionMeanNS float64 `json:"compaction_mean_ns,omitempty"`
 
 	// Crash churn.
 	Recoveries     int     `json:"recoveries"`
@@ -160,6 +173,10 @@ func Run(o Options) (Result, error) {
 
 		RebalanceEvery: o.RebalanceEvery,
 	}
+	if o.Store.Capacity > 0 {
+		res.Capacity = o.Store.Capacity
+	}
+	res.CompactAtFill = cfg.CompactAtFill
 	if cfg.Strategy.Batched() {
 		res.Batch = cfg.Batch
 		if res.Batch <= 0 {
@@ -237,6 +254,14 @@ func Run(o Options) (Result, error) {
 	res.MaxMeanBusy = m.MaxMeanBusyRatio()
 	res.Migrations = int(m.Migrations)
 	res.MigratedRecords = int(m.MigratedRecords)
+	res.Compactions = int(m.Compactions)
+	res.ReclaimedSlots = int(m.ReclaimedSlots)
+	for _, c := range m.CompactionNS {
+		res.CompactionMeanNS += c
+	}
+	if len(m.CompactionNS) > 0 {
+		res.CompactionMeanNS /= float64(len(m.CompactionNS))
+	}
 	for _, r := range m.RecoveryNS {
 		res.RecoveryMeanNS += r
 		if r > res.RecoveryMaxNS {
