@@ -1,0 +1,372 @@
+// Command cxl0-serve runs the pooled KV service under a continuous
+// synthetic workload and serves a live ops surface over HTTP:
+//
+//	GET /         — embedded HTML dashboard (no external assets)
+//	GET /metrics  — JSON snapshot: counters, per-shard gauges, rolling
+//	                rates and simulated-latency percentiles
+//	GET /events   — the observability event stream over Server-Sent
+//	                Events, one typed JSON event per frame
+//
+// The driver paces a YCSB-style workload on the host clock (-rate) and
+// periodically injects crash/recover cycles, rebalance checks and
+// compaction sweeps, so every event kind in internal/obs flows through
+// the stream. SIGINT/SIGTERM shut the server down cleanly (exit 0).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+	"cxl0/internal/obs"
+	"cxl0/internal/pool"
+	"cxl0/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	clusters := flag.Int("clusters", 2, "pooled cluster count")
+	shards := flag.Int("shards", 2, "shards per cluster")
+	strategyF := flag.String("strategy", "group", "persistence strategy (mstore,flush,rflush,gpf,group,ranged)")
+	workloadF := flag.String("workload", "A", "YCSB workload (A,B,C,D,E)")
+	keys := flag.Int("keys", 500, "preloaded keyspace size")
+	rate := flag.Int("rate", 500, "target operations per host second")
+	crashEvery := flag.Int("crash-every", 4000, "ops between crash+recover cycles (0 disables)")
+	rebalanceEvery := flag.Int("rebalance-every", 1500, "ops between rebalance checks (0 disables)")
+	compactEvery := flag.Int("compact-every", 2500, "ops between compaction sweeps (0 disables)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	busSize := flag.Int("bus", obs.DefaultBusSize, "event bus ring size")
+	flag.Parse()
+
+	strat, err := kv.ParseStrategy(*strategyF)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.YCSB(*workloadF)
+	if err != nil {
+		return err
+	}
+	spec.Keys = *keys
+	if spec.ScanPct > 0 && spec.MaxScanLen <= 0 {
+		spec.MaxScanLen = 16
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("cxl0-serve: -rate must be positive")
+	}
+
+	r, err := pool.Open(pool.Config{
+		Clusters: *clusters,
+		Store: kv.Config{
+			Shards: *shards, Strategy: strat, Batch: 16,
+			// Continuous serving: auto-compaction keeps the logs
+			// reusable indefinitely.
+			Capacity: 4096, CompactAtFill: 0.85,
+			Seed: *seed + 1,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	bus := obs.NewBus(*busSize)
+	stats := obs.NewStats()
+	r.Observe(obs.NewRecorder(bus, stats))
+
+	s := &server{
+		db: r, bus: bus, stats: stats,
+		spec: spec, started: time.Now(),
+	}
+	for k := 0; k < spec.Keys; k++ {
+		if _, err := r.Put(core.Val(k), core.Val(k+1)); err != nil {
+			return fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+	if err := r.Sync(); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.drive(ctx, *rate, *seed, *crashEvery, *rebalanceEvery, *compactEvery)
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: s.mux()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("cxl0-serve: %d cluster(s) × %d shard(s), %s strategy, workload %s at %d ops/s on %s",
+		*clusters, *shards, strat, spec.Name, *rate, ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		return err
+	}
+	// Graceful drain; SSE handlers watch ctx and exit within a poll
+	// interval.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	wg.Wait()
+	log.Printf("cxl0-serve: drained after %d ops, bye", s.ops.Load())
+	return nil
+}
+
+// server bundles the observed pooled service behind the HTTP handlers.
+type server struct {
+	db      *pool.Router
+	bus     *obs.Bus
+	stats   *obs.Stats
+	spec    workload.Spec
+	started time.Time
+
+	ops    atomic.Uint64 // workload ops driven
+	failed atomic.Uint64 // ops the service refused (e.g. mid-crash)
+}
+
+// mux routes the three endpoints; shared with the handler tests.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.dashboard)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/events", s.events)
+	return mux
+}
+
+// drive paces the workload on the host clock until ctx is done. Failures
+// from a shard that is down mid-churn are counted, not fatal — a live
+// service keeps serving what it can.
+func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, rebalanceEvery, compactEvery int) {
+	gen := workload.NewGenerator(s.spec, seed)
+	interval := time.Second / time.Duration(rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	crashShard := 0
+	for i := 1; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if crashEvery > 0 && i%crashEvery == 0 {
+			sh := crashShard % s.db.NumShards()
+			crashShard++
+			s.db.Crash(sh)
+			if _, err := s.db.Recover(sh); err != nil {
+				s.failed.Add(1)
+			}
+		}
+		if rebalanceEvery > 0 && i%rebalanceEvery == 0 {
+			if _, err := s.db.Rebalance(); err != nil {
+				s.failed.Add(1)
+			}
+		}
+		if compactEvery > 0 && i%compactEvery == 0 {
+			if _, err := s.db.Compact(); err != nil {
+				s.failed.Add(1)
+			}
+		}
+		op := gen.Next()
+		var err error
+		switch op.Kind {
+		case workload.OpRead:
+			_, _, err = s.db.Get(core.Val(op.Key))
+		case workload.OpUpdate, workload.OpInsert:
+			_, err = s.db.Put(core.Val(op.Key), core.Val(op.Value))
+		case workload.OpScan:
+			_, err = s.db.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen)
+		}
+		s.ops.Add(1)
+		if err != nil {
+			s.failed.Add(1)
+		}
+	}
+}
+
+// shardRow is one per-shard gauge row of the /metrics snapshot.
+type shardRow struct {
+	Shard     int     `json:"shard"`
+	Cluster   int     `json:"cluster"`
+	BusyNS    float64 `json:"busy_ns"`
+	BusyShare float64 `json:"busy_share"`
+	ChurnNS   float64 `json:"churn_ns"`
+	Fill      float64 `json:"fill"`
+	Live      int     `json:"live"`
+}
+
+// metricsSnapshot is the /metrics JSON document.
+type metricsSnapshot struct {
+	Workload  string  `json:"workload"`
+	Clusters  int     `json:"clusters"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Ops       uint64  `json:"ops"`
+	Failed    uint64  `json:"failed"`
+	SimNS     float64 `json:"sim_ns"`
+
+	KV struct {
+		Puts               uint64 `json:"puts"`
+		Gets               uint64 `json:"gets"`
+		Deletes            uint64 `json:"deletes"`
+		Scans              uint64 `json:"scans"`
+		ScannedPairs       uint64 `json:"scanned_pairs"`
+		ScanDiscardedPairs uint64 `json:"scan_discarded_pairs"`
+		Acked              uint64 `json:"acked"`
+		Commits            uint64 `json:"commits"`
+		DroppedPending     uint64 `json:"dropped_pending"`
+		Recoveries         uint64 `json:"recoveries"`
+		Migrations         uint64 `json:"migrations"`
+		Compactions        uint64 `json:"compactions"`
+		ReclaimedSlots     uint64 `json:"reclaimed_slots"`
+	} `json:"kv"`
+
+	Shards []shardRow   `json:"shards"`
+	Obs    obs.Snapshot `json:"obs"`
+
+	Bus struct {
+		Published   uint64 `json:"published"`
+		Ring        int    `json:"ring"`
+		Subscribers int    `json:"subscribers"`
+	} `json:"bus"`
+}
+
+func (s *server) snapshot() metricsSnapshot {
+	m := s.db.Metrics()
+	var doc metricsSnapshot
+	doc.Workload = s.spec.Name
+	doc.Clusters = s.db.NumClusters()
+	doc.UptimeSec = time.Since(s.started).Seconds()
+	doc.Ops = s.ops.Load()
+	doc.Failed = s.failed.Load()
+	doc.SimNS = s.db.NowNS()
+	doc.KV.Puts, doc.KV.Gets, doc.KV.Deletes = m.Puts, m.Gets, m.Deletes
+	doc.KV.Scans, doc.KV.ScannedPairs, doc.KV.ScanDiscardedPairs = m.Scans, m.ScannedPairs, m.ScanDiscardedPairs
+	doc.KV.Acked, doc.KV.Commits, doc.KV.DroppedPending = m.Acked, m.Commits, m.DroppedPending
+	doc.KV.Recoveries, doc.KV.Migrations = m.Recoveries, m.Migrations
+	doc.KV.Compactions, doc.KV.ReclaimedSlots = m.Compactions, m.ReclaimedSlots
+	totalBusy := 0.0
+	for _, b := range m.PerShardBusyNS {
+		totalBusy += b
+	}
+	perCluster := s.db.NumShards() / s.db.NumClusters()
+	for i, b := range m.PerShardBusyNS {
+		row := shardRow{Shard: i, Cluster: i / perCluster, BusyNS: b}
+		if totalBusy > 0 {
+			row.BusyShare = b / totalBusy
+		}
+		if i < len(m.PerShardChurnNS) {
+			row.ChurnNS = m.PerShardChurnNS[i]
+		}
+		if i < len(m.PerShardFill) {
+			row.Fill = m.PerShardFill[i]
+		}
+		if i < len(m.PerShardLive) {
+			row.Live = m.PerShardLive[i]
+		}
+		doc.Shards = append(doc.Shards, row)
+	}
+	doc.Obs = s.stats.Snapshot()
+	doc.Bus.Published = s.bus.Seq()
+	doc.Bus.Ring = s.bus.Size()
+	doc.Bus.Subscribers = s.bus.Subscribers()
+	return doc
+}
+
+func (s *server) metrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.snapshot()); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("metrics: %v", err)
+	}
+}
+
+// events streams the bus over Server-Sent Events: one frame per event,
+// with the bus sequence as the SSE id and the event kind as the SSE
+// event name. A comment frame every poll interval keeps idle connections
+// alive.
+func (s *server) events(w http.ResponseWriter, req *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.bus.Subscribe()
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": cxl0-serve event stream\n\n")
+	fl.Flush()
+	ctx := req.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		evs := sub.Next(64, time.Second)
+		if len(evs) == 0 {
+			if _, err := fmt.Fprintf(w, ": idle\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
+		}
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data); err != nil {
+				return
+			}
+		}
+		if d := sub.Dropped(); d > 0 {
+			fmt.Fprintf(w, ": dropped %d (slow consumer)\n\n", d)
+		}
+		fl.Flush()
+	}
+}
+
+func (s *server) dashboard(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+	"cxl0/internal/obs"
+	"cxl0/internal/pool"
+	"cxl0/internal/workload"
+)
+
+// newTestServer builds a small observed 2-cluster service with the
+// driver running, plus its handlers behind httptest.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	r, err := pool.Open(pool.Config{
+		Clusters: 2,
+		Store:    kv.Config{Shards: 2, Strategy: kv.GroupCommit, Batch: 8, Capacity: 2048, CompactAtFill: 0.85, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := obs.NewBus(obs.DefaultBusSize)
+	stats := obs.NewStats()
+	r.Observe(obs.NewRecorder(bus, stats))
+	spec, err := workload.YCSB("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Keys = 100
+	s := &server{db: r, bus: bus, stats: stats, spec: spec, started: time.Now()}
+	for k := 0; k < spec.Keys; k++ {
+		if _, err := r.Put(core.Val(k), core.Val(k+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.drive(ctx, 2000, 3, 500, 200, 300)
+	}()
+
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() {
+		cancel()
+		ts.Close()
+		wg.Wait()
+	})
+	return ts
+}
+
+func TestMetricsEndpointAdvances(t *testing.T) {
+	ts := newTestServer(t)
+
+	get := func() metricsSnapshot {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		var m metricsSnapshot
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := get()
+	if m1.Clusters != 2 || m1.Workload != "A" {
+		t.Fatalf("snapshot identity wrong: %+v", m1)
+	}
+	if len(m1.Shards) != 4 {
+		t.Fatalf("snapshot has %d shard rows, want 4", len(m1.Shards))
+	}
+	time.Sleep(300 * time.Millisecond)
+	m2 := get()
+	if m2.Ops <= m1.Ops {
+		t.Fatalf("ops did not advance: %d -> %d", m1.Ops, m2.Ops)
+	}
+	if m2.SimNS <= m1.SimNS {
+		t.Fatalf("sim clock did not advance: %g -> %g", m1.SimNS, m2.SimNS)
+	}
+	if m2.KV.Acked == 0 {
+		t.Fatal("no writes acked under a running update-heavy workload")
+	}
+	if m2.Bus.Published == 0 {
+		t.Fatal("bus published nothing despite instrumentation")
+	}
+}
+
+func TestEventsEndpointStreams(t *testing.T) {
+	ts := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	var lastKind string
+	for sc.Scan() && events < 10 {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			lastKind = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			var e struct {
+				Seq  uint64 `json:"seq"`
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			if e.Seq == 0 || e.Kind == "" {
+				t.Fatalf("event missing seq/kind: %q", line)
+			}
+			if e.Kind != lastKind {
+				t.Fatalf("SSE event name %q disagrees with payload kind %q", lastKind, e.Kind)
+			}
+			events++
+		}
+	}
+	if events < 10 {
+		t.Fatalf("read %d events before the stream ended, want 10", events)
+	}
+}
+
+func TestDashboardServed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"<!doctype html", "EventSource", "/metrics", "busy share"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != 404 {
+		t.Fatalf("unknown path served %d, want 404", resp.StatusCode)
+	}
+}

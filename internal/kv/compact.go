@@ -125,6 +125,17 @@ func (s *Store) hookCompact(step CompactStep) {
 	}
 }
 
+// compactCheckpoint publishes the compaction checkpoint as an
+// observability event, then fires the test hook — in that order, so the
+// event records reaching the checkpoint even when the hook injects a
+// crash there.
+func (s *Store) compactCheckpoint(step CompactStep, sh *shard, epoch uint64, live, reclaimed int) {
+	if s.rec != nil {
+		s.rec.CompactionStep(step.String(), sh.id, epoch, live, reclaimed, s.cluster.NowNS())
+	}
+	s.hookCompact(step)
+}
+
 // compactThreshold is the log length at which auto-compaction triggers
 // for a shard of the given capacity.
 func (s *Store) compactThreshold(capacity int) int {
@@ -253,11 +264,11 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 	}
 
 	next := sh.epoch + 1
-	s.hookCompact(StepBeforeSnapshot)
+	s.compactCheckpoint(StepBeforeSnapshot, sh, next, len(live), 0)
 	if err := s.writeSnapshot(sh, t, next, live); err != nil {
 		return stats, err
 	}
-	s.hookCompact(StepAfterSnapshot)
+	s.compactCheckpoint(StepAfterSnapshot, sh, next, len(live), 0)
 	if sh.down {
 		// The snapshot is durable but uncommitted: abort, and recovery
 		// resolves the old epoch. Aborting after StepAfterSnapshot and
@@ -265,7 +276,7 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 		// next epoch's region until its commit record exists.
 		return stats, ErrShardDown
 	}
-	s.hookCompact(StepBeforeEpoch)
+	s.compactCheckpoint(StepBeforeEpoch, sh, next, len(live), 0)
 	if sh.down {
 		return stats, ErrShardDown
 	}
@@ -274,7 +285,7 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 	if err := s.writeEpochRecord(sh, t, next, len(live)); err != nil {
 		return stats, err
 	}
-	s.hookCompact(StepAfterEpoch)
+	s.compactCheckpoint(StepAfterEpoch, sh, next, len(live), 0)
 
 	// Phase 3: reclaim. The commit point has passed, so the re-homing
 	// proceeds even if the shard machine just failed — recovery resolves
@@ -297,7 +308,7 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 			break
 		}
 	}
-	s.hookCompact(StepAfterReclaim)
+	s.compactCheckpoint(StepAfterReclaim, sh, next, len(live), oldLog+oldSnap-len(live))
 
 	committed = true
 	stats.Epoch = next
@@ -316,11 +327,11 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 func (s *Store) writeSnapshot(sh *shard, t *memsim.Thread, epoch uint64, live []rec) error {
 	machineEpoch := s.cluster.Epoch(sh.machine)
 	if len(live) == 0 {
-		s.hookCompact(StepMidSnapshot)
+		s.compactCheckpoint(StepMidSnapshot, sh, epoch, len(live), 0)
 	}
 	for i, r := range live {
 		if i == len(live)/2 {
-			s.hookCompact(StepMidSnapshot)
+			s.compactCheckpoint(StepMidSnapshot, sh, epoch, len(live), 0)
 		}
 		if sh.down {
 			return ErrShardDown

@@ -26,6 +26,7 @@ import (
 
 	"cxl0/internal/core"
 	"cxl0/internal/kv"
+	"cxl0/internal/obs"
 )
 
 // Factory returns a fresh, empty DB built over the given per-cluster
@@ -44,6 +45,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("CompactVisibility", func(t *testing.T) { testCompactVisibility(t, f) })
 	t.Run("AutoCompactCapacity", func(t *testing.T) { testAutoCompactCapacity(t, f) })
 	t.Run("BadArguments", func(t *testing.T) { testBadArguments(t, f) })
+	t.Run("ObservabilityAgreement", func(t *testing.T) { testObservabilityAgreement(t, f) })
 }
 
 func cfgFor(strat kv.Strategy) kv.Config {
@@ -520,6 +522,112 @@ func testBadArguments(t *testing.T, f Factory) {
 	}
 	if _, err := db.Delete(-1); !errors.Is(err, kv.ErrBadKey) {
 		t.Fatalf("negative key delete: %v", err)
+	}
+}
+
+// observable is the optional surface a DB exposes to attach the
+// observability layer. Both *kv.Store and *pool.Router implement it; a
+// future implementation without it simply skips the agreement case.
+type observable interface {
+	Observe(rec *obs.Recorder)
+}
+
+// testObservabilityAgreement pins the event/metrics contract across the
+// DB surface: over a crash-churn run with a periodically drained
+// subscriber, the summed client acks carried on op-span, commit and
+// recover events equal Metrics.Acked; completed-checkpoint events match
+// the Migrations, Compactions and Recoveries counters; and the default
+// bus size loses nothing when the consumer keeps up.
+func testObservabilityAgreement(t *testing.T, f Factory) {
+	for _, strat := range []kv.Strategy{kv.GroupCommit, kv.RangedCommit, kv.MStoreEach} {
+		t.Run(strat.String(), func(t *testing.T) {
+			cfg := cfgFor(strat)
+			// Small logs + auto-compaction so the churn below compacts
+			// repeatedly even when a pooled factory spreads the writes
+			// across several clusters.
+			cfg.Capacity = 64
+			cfg.CompactAtFill = 0.5
+			db := f(t, cfg)
+			o, ok := db.(observable)
+			if !ok {
+				t.Skipf("%T does not expose Observe; agreement not applicable", db)
+			}
+			bus := obs.NewBus(obs.DefaultBusSize)
+			sub := bus.Subscribe()
+			o.Observe(obs.NewRecorder(bus, obs.NewStats()))
+
+			ackSum, flips, reclaims, recovers := 0, uint64(0), uint64(0), uint64(0)
+			drain := func() {
+				for _, e := range sub.Poll(0) {
+					switch e.Kind {
+					case obs.KindOp, obs.KindCommit, obs.KindRecover:
+						ackSum += e.Acked
+						if e.Kind == obs.KindRecover {
+							recovers++
+						}
+					case obs.KindMigration:
+						if e.Step == "after-flip" {
+							flips++
+						}
+					case obs.KindCompaction:
+						if e.Step == "after-reclaim" {
+							reclaims++
+						}
+					}
+				}
+			}
+
+			const keys = 40
+			for round := 0; round < 12; round++ {
+				for k := core.Val(0); k < keys; k++ {
+					if _, err := db.Put(k, core.Val(round)*1000+k+1); err != nil {
+						t.Fatalf("round %d put %d: %v", round, k, err)
+					}
+				}
+				if round%2 == 0 {
+					if _, err := db.Scan(0, keys, 10); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if round%3 == 2 {
+					sh := round % db.NumShards()
+					db.Crash(sh)
+					if _, err := db.Recover(sh); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if round%4 == 3 {
+					if _, err := db.Rebalance(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				drain()
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			drain()
+
+			m := db.Metrics()
+			if uint64(ackSum) != m.Acked {
+				t.Fatalf("event acks sum to %d, Metrics.Acked = %d", ackSum, m.Acked)
+			}
+			if flips != m.Migrations {
+				t.Fatalf("after-flip events = %d, Metrics.Migrations = %d", flips, m.Migrations)
+			}
+			if reclaims != m.Compactions {
+				t.Fatalf("after-reclaim events = %d, Metrics.Compactions = %d", reclaims, m.Compactions)
+			}
+			if recovers != m.Recoveries {
+				t.Fatalf("recover events = %d, Metrics.Recoveries = %d", recovers, m.Recoveries)
+			}
+			if m.Compactions == 0 {
+				t.Fatal("churn produced no compactions; the agreement case lost its teeth")
+			}
+			if d := sub.Dropped(); d != 0 {
+				t.Fatalf("default bus size dropped %d events under a kept-up consumer", d)
+			}
+		})
 	}
 }
 

@@ -122,6 +122,16 @@ func (s *Store) hookStep(step MigrateStep) {
 	}
 }
 
+// stepCheckpoint publishes the migration checkpoint as an observability
+// event, then fires the test hook — in that order, so the event records
+// reaching the checkpoint even when the hook injects a crash there.
+func (s *Store) stepCheckpoint(step MigrateStep, b, from, to, records int) {
+	if s.rec != nil {
+		s.rec.MigrationStep(step.String(), b, from, to, records, s.cluster.NowNS())
+	}
+	s.hookStep(step)
+}
+
 // chargeChurn charges the simulated span since start to shard sh as both
 // busy time and churn — the accounting every migration phase shares.
 func (s *Store) chargeChurn(sh *shard, start float64) {
@@ -246,7 +256,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 			&ShardFullError{Shard: from, Appended: len(src.log), Capacity: src.cap, Need: 1})
 	}
 
-	s.hookStep(StepBeforeCopy)
+	s.stepCheckpoint(StepBeforeCopy, b, from, to, len(pairs))
 	preLen := len(dst.log)
 	wstart := s.cluster.NowNS()
 	copyErr := func() error {
@@ -263,7 +273,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 		dst.log = append(dst.log, marker)
 		for i, p := range pairs {
 			if i == len(pairs)/2 {
-				s.hookStep(StepMidCopy)
+				s.stepCheckpoint(StepMidCopy, b, from, to, len(pairs))
 			}
 			if src.down || dst.down {
 				return ErrShardDown
@@ -284,7 +294,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	if copyErr != nil {
 		return stats, s.abortCopies(dst, preLen, copyErr)
 	}
-	s.hookStep(StepAfterCopy)
+	s.stepCheckpoint(StepAfterCopy, b, from, to, len(pairs))
 	if src.down || dst.down {
 		// No move-out record exists yet, so the migration can still be
 		// aborted safely: the copies are never referenced.
@@ -313,7 +323,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	if writeOut != nil {
 		return stats, writeOut
 	}
-	s.hookStep(StepBeforeFlip)
+	s.stepCheckpoint(StepBeforeFlip, b, from, to, len(pairs))
 
 	// Phase 3: flip. The commit point has passed, so the flip proceeds
 	// even if a machine just failed — recovery on either shard resolves
@@ -328,7 +338,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	s.migratedRecords += uint64(len(pairs))
 	stats.Records = len(pairs)
 	stats.SimNS = s.cluster.NowNS() - startNS
-	s.hookStep(StepAfterFlip)
+	s.stepCheckpoint(StepAfterFlip, b, from, to, len(pairs))
 	return stats, nil
 }
 
@@ -382,6 +392,17 @@ func (s *Store) reindexBucket(dst *shard, b int) {
 func (s *Store) Rebalance() ([]MigrationStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.rec == nil {
+		return s.rebalanceLocked()
+	}
+	start := s.cluster.NowNS()
+	moves, err := s.rebalanceLocked()
+	s.rec.Rebalance(len(moves), start, s.cluster.NowNS())
+	return moves, err
+}
+
+// rebalanceLocked is Rebalance's body; the caller holds the store lock.
+func (s *Store) rebalanceLocked() ([]MigrationStats, error) {
 	defer s.snapshotWindow()
 	if len(s.shards) < 2 {
 		return nil, nil

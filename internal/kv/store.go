@@ -7,6 +7,7 @@ import (
 
 	"cxl0/internal/core"
 	"cxl0/internal/memsim"
+	"cxl0/internal/obs"
 )
 
 // Ack describes the acknowledgment state of a write when it returns.
@@ -158,6 +159,10 @@ type Metrics struct {
 	// per sub-batch it forwards).
 	MultiGets, Batches uint64
 	Commits            uint64 // commit flushes issued (GPF or ranged batches)
+	// ScanDiscardedPairs counts pairs a pooled scan fan-out loaded from
+	// clusters and then discarded in the router's merge — always 0 on a
+	// single store, where Scan never over-fetches (see pool.Router.Scan).
+	ScanDiscardedPairs uint64
 	// Acked is the cumulative count of client writes acknowledged durable
 	// (at return, at a batch commit, via Sync, or by a recovery that
 	// salvaged a pending batch). It only ever grows: recovery truncation
@@ -190,6 +195,12 @@ type Metrics struct {
 	// recovery and bucket migration: exogenous one-off costs, excluded
 	// from the placement-skew metric (MaxMeanBusyRatio).
 	PerShardChurnNS []float64
+	// PerShardFill is each shard's log fill fraction at snapshot time
+	// (appended records over capacity — live occupancy, not cumulative),
+	// and PerShardLive its live record count (index size). Both follow
+	// PerShardBusyNS's global shard order under a pooled router.
+	PerShardFill []float64
+	PerShardLive []int
 	// WriteLatencies are simulated ack latencies of acknowledged writes.
 	WriteLatencies []float64
 }
@@ -292,6 +303,17 @@ type Store struct {
 	// store lock held.
 	migrateHook func(step MigrateStep)
 	compactHook func(step CompactStep)
+
+	// rec, when set (Observe), receives typed events and latency samples
+	// for everything the store does. Instrumentation reads the simulated
+	// clock but never advances it and never touches the fabric's RNG, so
+	// an observed run is bit-identical on the simulated timeline to an
+	// unobserved one; with rec nil the hot path pays one pointer check.
+	// obsCommitAcked counts the client acks carried on emitted commit
+	// events, so op spans can report exactly the acks not already
+	// attributed to a commit event (the ack-agreement invariant).
+	rec            *obs.Recorder
+	obsCommitAcked uint64
 }
 
 // Open builds the cluster (one front-end machine plus one machine per
@@ -379,6 +401,18 @@ func (s *Store) spawnThreads(sh *shard) error {
 // Cluster returns the backing cluster (for churn injection and
 // inspection).
 func (s *Store) Cluster() *memsim.Cluster { return s.cluster }
+
+// Observe attaches an observability recorder: every operation, commit
+// flush, migration step, compaction checkpoint, crash, recovery and
+// rebalance decision is published as a typed obs.Event, and op latencies
+// feed the recorder's histograms. Pass nil to detach. Observation never
+// touches the simulated clock: an observed run's simulated timeline is
+// bit-identical to an unobserved one.
+func (s *Store) Observe(rec *obs.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+}
 
 // NowNS returns the cluster's simulated clock.
 func (s *Store) NowNS() float64 { return s.cluster.NowNS() }
@@ -632,9 +666,17 @@ func (s *Store) flushPending(sh *shard) error {
 			s.bucketWin[s.bucketOf(k)] += per
 		}
 	}
+	flushed := sh.pending
 	sh.acked = len(sh.log)
 	sh.pending = 0
 	s.commits++
+	if s.rec != nil {
+		// The commit event carries the client acks this flush vouches
+		// for — commitLocked's acknowledgment loop covers exactly the
+		// batchKeys records, and migration-copy flushes carry 0.
+		s.obsCommitAcked += uint64(len(batchKeys))
+		s.rec.Commit(sh.id, fstart, s.cluster.NowNS(), flushed, len(batchKeys))
+	}
 	return nil
 }
 
@@ -716,7 +758,27 @@ func (s *Store) Put(key, val core.Val) (Ack, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.puts++
-	return s.append(s.shards[s.shardOf(key)], key, val)
+	sh := s.shards[s.shardOf(key)]
+	if s.rec == nil {
+		return s.append(sh, key, val)
+	}
+	start := s.cluster.NowNS()
+	ackedW, commitW := s.ackedWrites, s.obsCommitAcked
+	ack, err := s.append(sh, key, val)
+	s.rec.OpSpan(obs.OpPut, sh.id, start, s.cluster.NowNS(),
+		1, s.spanAcked(ackedW, commitW), ack.Durable)
+	return ack, err
+}
+
+// spanAcked returns the client acks an op span should carry: the acks
+// accumulated since the captured counters, minus those already carried
+// on commit events emitted within the op. Per-operation strategies ack
+// on the span; batched strategies route every ack through commit events
+// (including batch-full commits an append triggers mid-op), so summing
+// Acked over a store's op-span, commit and recover events always equals
+// Metrics.Acked.
+func (s *Store) spanAcked(ackedBefore, commitBefore uint64) int {
+	return int(s.ackedWrites-ackedBefore) - int(s.obsCommitAcked-commitBefore)
 }
 
 // Delete removes key by appending a tombstone record.
@@ -727,7 +789,16 @@ func (s *Store) Delete(key core.Val) (Ack, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.deletes++
-	return s.append(s.shards[s.shardOf(key)], key, 0)
+	sh := s.shards[s.shardOf(key)]
+	if s.rec == nil {
+		return s.append(sh, key, 0)
+	}
+	start := s.cluster.NowNS()
+	ackedW, commitW := s.ackedWrites, s.obsCommitAcked
+	ack, err := s.append(sh, key, 0)
+	s.rec.OpSpan(obs.OpDelete, sh.id, start, s.cluster.NowNS(),
+		1, s.spanAcked(ackedW, commitW), ack.Durable)
+	return ack, err
 }
 
 // Get returns the value mapped to key. The index probe is free (a
@@ -739,7 +810,18 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.getLocked(key)
+	if s.rec == nil {
+		return s.getLocked(key)
+	}
+	shard := s.shardOf(key)
+	start := s.cluster.NowNS()
+	v, ok, err := s.getLocked(key)
+	n := 0
+	if ok {
+		n = 1
+	}
+	s.rec.OpSpan(obs.OpGet, shard, start, s.cluster.NowNS(), n, 0, false)
+	return v, ok, err
 }
 
 // getLocked serves one point lookup with the store lock held — the path
@@ -779,6 +861,10 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.multiGets++
+	var start float64
+	if s.rec != nil {
+		start = s.cluster.NowNS()
+	}
 	out := make([]Lookup, 0, len(keys))
 	for _, k := range keys {
 		v, ok, err := s.getLocked(k)
@@ -786,6 +872,9 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 			return nil, err
 		}
 		out = append(out, Lookup{Key: k, Val: v, Found: ok})
+	}
+	if s.rec != nil {
+		s.rec.OpSpan(obs.OpMultiGet, -1, start, s.cluster.NowNS(), len(out), 0, false)
 	}
 	return out, nil
 }
@@ -812,6 +901,20 @@ func (s *Store) Apply(b *Batch) (Ack, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.batches++
+	if s.rec == nil {
+		return s.applyLocked(b)
+	}
+	start := s.cluster.NowNS()
+	ackedW, commitW := s.ackedWrites, s.obsCommitAcked
+	ack, err := s.applyLocked(b)
+	s.rec.OpSpan(obs.OpApply, -1, start, s.cluster.NowNS(),
+		b.Len(), s.spanAcked(ackedW, commitW), ack.Durable)
+	return ack, err
+}
+
+// applyLocked is Apply's body with the store lock held and the batch
+// validated.
+func (s *Store) applyLocked(b *Batch) (Ack, error) {
 	touched := make([]bool, len(s.shards))
 	var last Ack
 	for _, op := range b.ops {
@@ -854,6 +957,10 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.scans++
+	var sstart float64
+	if s.rec != nil {
+		sstart = s.cluster.NowNS()
+	}
 	type cand struct {
 		key  core.Val
 		slot int
@@ -889,6 +996,9 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 		out = append(out, Pair{Key: c.key, Val: v})
 	}
 	s.scannedPairs += uint64(len(out))
+	if s.rec != nil {
+		s.rec.OpSpan(obs.OpScan, -1, sstart, s.cluster.NowNS(), len(out), 0, false)
+	}
 	return out, nil
 }
 
@@ -925,6 +1035,9 @@ func (s *Store) crashLocked(i int) {
 	sh := s.shards[i]
 	s.cluster.Crash(sh.machine)
 	sh.down = true
+	if s.rec != nil {
+		s.rec.Crash(i, s.cluster.NowNS())
+	}
 }
 
 // replayRecord applies one log record to an index under the move-marker
@@ -1200,12 +1313,14 @@ scan:
 	// at or past the acknowledged prefix, so the lost records are exactly
 	// the unacknowledged tail.
 	droppedPending := 0
+	salvaged := 0
 	pendingStart := appended - sh.pending
 	now := s.cluster.NowNS()
 	for slot := pendingStart; slot < cut; slot++ {
 		if r := sh.log[slot]; !r.move && !r.copied {
 			sh.writeLat = append(sh.writeLat, now-r.startNS)
 			s.ackedWrites++
+			salvaged++
 		}
 	}
 	for slot := cut; slot < appended; slot++ {
@@ -1230,6 +1345,9 @@ scan:
 	s.dropped += uint64(droppedPending)
 	s.recoveries++
 	s.recoveryNS = append(s.recoveryNS, simNS)
+	if s.rec != nil {
+		s.rec.Recover(i, start, s.cluster.NowNS(), cut, salvaged, appended-cut)
+	}
 	return RecoveryStats{
 		Shard:          i,
 		Recovered:      cut,
@@ -1266,6 +1384,8 @@ func (s *Store) Metrics() Metrics {
 	for _, sh := range s.shards {
 		m.PerShardBusyNS = append(m.PerShardBusyNS, sh.busyNS)
 		m.PerShardChurnNS = append(m.PerShardChurnNS, sh.churnNS)
+		m.PerShardFill = append(m.PerShardFill, float64(len(sh.log))/float64(sh.cap))
+		m.PerShardLive = append(m.PerShardLive, len(sh.index))
 		m.WriteLatencies = append(m.WriteLatencies, sh.writeLat...)
 	}
 	return m

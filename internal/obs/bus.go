@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultBusSize is the ring capacity when NewBus is given size <= 0.
+const DefaultBusSize = 4096
+
+// Bus is a ring-buffered, drop-counting event channel. Publish never
+// blocks: it assigns the next sequence number, stores the event in the
+// ring (overwriting the oldest once full) and nudges subscribers.
+// Subscribers read at their own pace with Poll or Next; one that falls
+// more than a full ring behind skips the overwritten events and counts
+// them as dropped. With no subscribers the ring simply wraps — an
+// unobserved bus costs one mutex acquisition and one slot store per
+// event.
+type Bus struct {
+	mu   sync.Mutex
+	buf  []Event // ring: sequence n lives at (n-1) % size
+	size int
+	seq  uint64 // last assigned sequence number (0 = nothing published)
+	subs map[*Sub]struct{}
+}
+
+// NewBus returns a bus with the given ring capacity (DefaultBusSize when
+// size <= 0).
+func NewBus(size int) *Bus {
+	if size <= 0 {
+		size = DefaultBusSize
+	}
+	return &Bus{size: size, subs: map[*Sub]struct{}{}}
+}
+
+// Publish assigns the event its sequence number, stores it and wakes
+// subscribers. It returns the assigned sequence number.
+func (b *Bus) Publish(e Event) uint64 {
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	if len(b.buf) < b.size {
+		b.buf = append(b.buf, e)
+	} else {
+		b.buf[(b.seq-1)%uint64(b.size)] = e
+	}
+	seq := b.seq
+	for s := range b.subs {
+		select {
+		case s.notify <- struct{}{}:
+		default: // already nudged
+		}
+	}
+	b.mu.Unlock()
+	return seq
+}
+
+// Seq returns the last assigned sequence number (the total number of
+// events ever published).
+func (b *Bus) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Size returns the ring capacity.
+func (b *Bus) Size() int { return b.size }
+
+// Subscribers returns the number of attached subscribers.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscribe attaches a new subscriber positioned at the current sequence
+// number: it sees events published from now on.
+func (b *Bus) Subscribe() *Sub {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &Sub{bus: b, cursor: b.seq, notify: make(chan struct{}, 1)}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Sub is one subscriber's cursor into the bus.
+type Sub struct {
+	bus     *Bus
+	cursor  uint64 // last sequence number delivered
+	dropped uint64
+	notify  chan struct{}
+	closed  bool
+}
+
+// Poll returns up to max pending events (nil when none are pending). If
+// the subscriber fell behind the ring, the overwritten events are skipped
+// and added to Dropped.
+func (s *Sub) Poll(max int) []Event {
+	if max <= 0 {
+		max = s.bus.size
+	}
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s.cursor >= b.seq {
+		return nil
+	}
+	oldest := b.seq - uint64(len(b.buf)) + 1 // oldest sequence still in the ring
+	if s.cursor+1 < oldest {
+		s.dropped += oldest - 1 - s.cursor
+		s.cursor = oldest - 1
+	}
+	n := int(b.seq - s.cursor)
+	if n > max {
+		n = max
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		seq := s.cursor + 1 + uint64(i)
+		out = append(out, b.buf[(seq-1)%uint64(b.size)])
+	}
+	s.cursor += uint64(n)
+	return out
+}
+
+// Next polls, and when nothing is pending blocks up to timeout for a
+// publication before polling once more. It returns nil on timeout — the
+// caller's loop shape is `for evs := sub.Next(...); ...`.
+func (s *Sub) Next(max int, timeout time.Duration) []Event {
+	if evs := s.Poll(max); len(evs) > 0 {
+		return evs
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-s.notify:
+		return s.Poll(max)
+	case <-timer.C:
+		return nil
+	}
+}
+
+// Dropped returns how many events this subscriber lost to ring overwrite.
+func (s *Sub) Dropped() uint64 {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscriber from the bus.
+func (s *Sub) Close() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if !s.closed {
+		delete(s.bus.subs, s)
+		s.closed = true
+	}
+}

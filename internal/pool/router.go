@@ -37,9 +37,12 @@ package pool
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cxl0/internal/core"
 	"cxl0/internal/kv"
+	"cxl0/internal/obs"
 )
 
 // DefaultBuckets is the pool-level virtual-bucket count when
@@ -86,13 +89,23 @@ func (c Config) withDefaults() Config {
 // c*shardsPerCluster + i. The cluster map is immutable after Open, and
 // every store serializes its own operations, so Router methods are safe
 // for concurrent use; operations on distinct clusters do not serialize
-// against each other.
+// against each other (they hold mu only for reading). Metrics,
+// ResetMetrics and Observe take mu exclusively, so a Metrics snapshot is
+// atomically consistent — it never observes a fan-out operation half
+// applied.
 type Router struct {
 	cfg        Config
 	stores     []*kv.Store
 	clusterMap []int // pool bucket -> cluster
 	shardBase  []int // cluster -> first global shard index
 	nShards    int
+
+	// mu is held shared by every operation and exclusively by
+	// Metrics/ResetMetrics/Observe. scanDiscarded is atomic because Scan
+	// updates it under the shared lock.
+	mu            sync.RWMutex
+	scanDiscarded atomic.Uint64
+	rec           *obs.Recorder
 }
 
 // Router implements the full DB surface over pooled clusters.
@@ -118,6 +131,23 @@ func Open(cfg Config) (*Router, error) {
 		r.stores = append(r.stores, st)
 	}
 	return r, nil
+}
+
+// Observe attaches rec to the router and, derived per cluster with the
+// cluster's tag and global shard base, to every pooled store — so every
+// store-level event carries its cluster and global shard index while all
+// clusters share one bus, one aggregate and one span-ID sequence. The
+// router itself emits fan-out parent/leg spans for MultiGet, Scan and
+// Apply. Pass nil to detach. Like kv.Store.Observe, instrumentation only
+// reads the simulated clocks — the pooled timeline is bit-identical with
+// and without a recorder.
+func (r *Router) Observe(rec *obs.Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec = rec
+	for c, st := range r.stores {
+		st.Observe(rec.Tagged(c, r.shardBase[c]))
+	}
 }
 
 // NumClusters returns the pooled cluster count.
@@ -186,6 +216,8 @@ func (r *Router) Put(key, val core.Val) (kv.Ack, error) {
 	if key < 0 {
 		return kv.Ack{}, kv.ErrBadKey
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c := r.ClusterOf(key)
 	ack, err := r.stores[c].Put(key, val)
 	if err != nil {
@@ -200,6 +232,8 @@ func (r *Router) Delete(key core.Val) (kv.Ack, error) {
 	if key < 0 {
 		return kv.Ack{}, kv.ErrBadKey
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c := r.ClusterOf(key)
 	ack, err := r.stores[c].Delete(key)
 	if err != nil {
@@ -214,6 +248,8 @@ func (r *Router) Get(key core.Val) (core.Val, bool, error) {
 	if key < 0 {
 		return 0, false, kv.ErrBadKey
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c := r.ClusterOf(key)
 	v, ok, err := r.stores[c].Get(key)
 	return v, ok, clusterErr(c, err)
@@ -228,6 +264,8 @@ func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 			return nil, kv.ErrBadKey
 		}
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	byCluster := make([][]core.Val, len(r.stores))
 	byClusterPos := make([][]int, len(r.stores))
 	for i, k := range keys {
@@ -235,36 +273,137 @@ func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 		byCluster[c] = append(byCluster[c], k)
 		byClusterPos[c] = append(byClusterPos[c], i)
 	}
+	var span uint64
+	if r.rec != nil {
+		span = r.rec.NewSpan()
+	}
+	pstart := r.nowNS()
 	out := make([]kv.Lookup, len(keys))
 	for c, sub := range byCluster {
 		if len(sub) == 0 {
 			continue
 		}
+		var lstart float64
+		if r.rec != nil {
+			lstart = r.stores[c].NowNS()
+		}
 		res, err := r.stores[c].MultiGet(sub)
 		if err != nil {
 			return nil, clusterErr(c, err)
+		}
+		if r.rec != nil {
+			r.rec.FanOutLeg(span, obs.OpMultiGet, c, lstart, r.stores[c].NowNS(), len(sub))
 		}
 		for j, l := range res {
 			out[byClusterPos[c][j]] = l
 		}
 	}
+	if r.rec != nil {
+		r.rec.FanOut(span, obs.OpMultiGet, pstart, r.nowNS(), len(keys))
+	}
 	return out, nil
 }
 
-// Scan fans the range out to every cluster and merges the per-cluster
+// Scan fans the range out across the clusters and merges the per-cluster
 // results — each already in key order — into one globally key-ordered
-// slice, truncated to limit. Every cluster is asked for up to limit pairs
-// (it cannot know how many of its keys survive the merge), so a limited
-// pooled scan may load up to Clusters × limit values; the merge keeps the
-// cheapest limit ones.
+// slice, truncated to limit. A limited scan fetches progressively: the
+// first round asks every cluster for limit/Clusters + 1 pairs, then only
+// clusters whose next unread key could still displace the current
+// limit-th smallest are asked again, and no cluster is ever asked for
+// more than limit pairs in total. Pairs fetched but cut by the merge are
+// counted in Metrics.ScanDiscardedPairs; each refetch round ticks the
+// owning store's Scans counter.
 func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
-	var merged []kv.Pair
-	for c, st := range r.stores {
-		pairs, err := st.Scan(lo, hi, limit)
-		if err != nil {
-			return nil, clusterErr(c, err)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var span uint64
+	if r.rec != nil {
+		span = r.rec.NewSpan()
+	}
+	pstart := r.nowNS()
+
+	legs := make([]scanLeg, len(r.stores))
+	for c := range legs {
+		legs[c].next = lo
+	}
+
+	per := limit
+	if limit > 0 {
+		per = limit/len(r.stores) + 1
+	}
+	for {
+		progressed := false
+		for c := range legs {
+			l := &legs[c]
+			if l.done {
+				continue
+			}
+			ask := per
+			if limit > 0 && limit-l.fetched < ask {
+				ask = limit - l.fetched
+			}
+			if r.rec != nil && !l.everAsked {
+				l.simStart = r.stores[c].NowNS()
+			}
+			l.everAsked = true
+			pairs, err := r.stores[c].Scan(l.next, hi, ask)
+			if r.rec != nil {
+				l.simEnd = r.stores[c].NowNS()
+			}
+			if err != nil {
+				return nil, clusterErr(c, err)
+			}
+			l.fetched += len(pairs)
+			l.pairs = append(l.pairs, pairs...)
+			progressed = progressed || len(pairs) > 0
+			if limit <= 0 || len(pairs) < ask {
+				// Unlimited scans finish in one round; a short return
+				// means the cluster's range is exhausted.
+				l.done = true
+			} else {
+				l.next = pairs[len(pairs)-1].Key + 1
+				if l.next >= hi || l.fetched >= limit {
+					// A cluster's limit smallest in-range keys are the
+					// only ones that can survive the merge — no point
+					// fetching past the cap.
+					l.done = true
+				}
+			}
 		}
-		merged = append(merged, pairs...)
+		// Settle check: a cluster needs another round only if its next
+		// unread key could still displace the limit-th smallest fetched
+		// so far (or fewer than limit pairs are fetched in total).
+		total := 0
+		for c := range legs {
+			total += legs[c].fetched
+		}
+		allSettled := true
+		if limit <= 0 || total < limit {
+			for c := range legs {
+				if !legs[c].done {
+					allSettled = false
+					break
+				}
+			}
+		} else {
+			kth := kthSmallestKey(legs, limit)
+			for c := range legs {
+				if !legs[c].done && legs[c].next <= kth {
+					allSettled = false
+					break
+				}
+			}
+		}
+		if allSettled || !progressed {
+			break
+		}
+	}
+
+	var merged []kv.Pair
+	fetched := 0
+	for c := range legs {
+		merged = append(merged, legs[c].pairs...)
+		fetched += legs[c].fetched
 	}
 	// Clusters partition the keyspace, so pairs are unique across them and
 	// a sort is a merge.
@@ -272,7 +411,43 @@ func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
 	if limit > 0 && len(merged) > limit {
 		merged = merged[:limit]
 	}
+	if d := fetched - len(merged); d > 0 {
+		r.scanDiscarded.Add(uint64(d))
+	}
+	if r.rec != nil {
+		for c := range legs {
+			if legs[c].everAsked {
+				r.rec.FanOutLeg(span, obs.OpScan, c, legs[c].simStart, legs[c].simEnd, legs[c].fetched)
+			}
+		}
+		r.rec.FanOut(span, obs.OpScan, pstart, r.nowNS(), len(merged))
+	}
 	return merged, nil
+}
+
+// scanLeg tracks one cluster's progress through a progressive pooled
+// scan.
+type scanLeg struct {
+	pairs     []kv.Pair
+	next      core.Val // resume point: one past the last fetched key
+	done      bool     // range exhausted or per-cluster cap reached
+	fetched   int
+	simStart  float64
+	simEnd    float64
+	everAsked bool
+}
+
+// kthSmallestKey returns the limit-th smallest key fetched across the
+// legs. The caller has checked at least limit pairs are fetched.
+func kthSmallestKey(legs []scanLeg, limit int) core.Val {
+	keys := make([]core.Val, 0, limit*2)
+	for c := range legs {
+		for _, p := range legs[c].pairs {
+			keys = append(keys, p.Key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys[limit-1]
 }
 
 // Apply splits the batch into per-cluster sub-batches (each preserving
@@ -294,6 +469,8 @@ func (r *Router) Apply(b *Batch) (kv.Ack, error) {
 			return kv.Ack{}, kv.ErrBadKey
 		}
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	sub := make([]kv.Batch, len(r.stores))
 	lastCluster := 0
 	for _, op := range ops {
@@ -305,25 +482,42 @@ func (r *Router) Apply(b *Batch) (kv.Ack, error) {
 		}
 		lastCluster = c
 	}
+	var span uint64
+	if r.rec != nil {
+		span = r.rec.NewSpan()
+	}
+	pstart := r.nowNS()
 	var final kv.Ack
 	for c := range sub {
 		if sub[c].Len() == 0 {
 			continue
 		}
+		var lstart float64
+		if r.rec != nil {
+			lstart = r.stores[c].NowNS()
+		}
 		ack, err := r.stores[c].Apply(&sub[c])
 		if err != nil {
 			return kv.Ack{}, clusterErr(c, err)
+		}
+		if r.rec != nil {
+			r.rec.FanOutLeg(span, obs.OpApply, c, lstart, r.stores[c].NowNS(), sub[c].Len())
 		}
 		ack.Shard = r.globalShard(c, ack.Shard)
 		if c == lastCluster {
 			final = ack
 		}
 	}
+	if r.rec != nil {
+		r.rec.FanOut(span, obs.OpApply, pstart, r.nowNS(), b.Len())
+	}
 	return final, nil
 }
 
 // Sync commits every cluster's open batches.
 func (r *Router) Sync() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for c, st := range r.stores {
 		if err := st.Sync(); err != nil {
 			return clusterErr(c, err)
@@ -336,6 +530,8 @@ func (r *Router) Sync() error {
 // machinery, like Rebalance — and returns the union of per-shard stats
 // with shard indices lifted to the global space.
 func (r *Router) Compact() ([]kv.CompactionStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var all []kv.CompactionStats
 	for c, st := range r.stores {
 		stats, err := st.Compact()
@@ -355,6 +551,8 @@ func (r *Router) NumShards() int { return r.nShards }
 
 // Crash fails the machine of the shard with global index i.
 func (r *Router) Crash(i int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c, local := r.localShard(i)
 	r.stores[c].Crash(local)
 }
@@ -362,6 +560,8 @@ func (r *Router) Crash(i int) {
 // Recover restarts the shard with global index i; the returned stats
 // carry the global index.
 func (r *Router) Recover(i int) (kv.RecoveryStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c, local := r.localShard(i)
 	stats, err := r.stores[c].Recover(local)
 	if err != nil {
@@ -376,6 +576,8 @@ func (r *Router) Recover(i int) (kv.RecoveryStats, error) {
 // and returns the union of moves with shard indices lifted to the global
 // space.
 func (r *Router) Rebalance() ([]kv.MigrationStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var all []kv.MigrationStats
 	for c, st := range r.stores {
 		moves, err := st.Rebalance()
@@ -393,10 +595,16 @@ func (r *Router) Rebalance() ([]kv.MigrationStats, error) {
 
 // Metrics aggregates every cluster's snapshot: counters summed, per-shard
 // series concatenated in global shard order, latency and recovery samples
-// pooled. kv.Metrics' derived views keep their meaning: MaxBusyNS is the
-// pooled service makespan (clusters run in parallel like shards do) and
-// MaxMeanBusyRatio the placement skew across all shards of all clusters.
+// pooled, plus the router's own ScanDiscardedPairs. kv.Metrics' derived
+// views keep their meaning: MaxBusyNS is the pooled service makespan
+// (clusters run in parallel like shards do) and MaxMeanBusyRatio the
+// placement skew across all shards of all clusters. The snapshot is
+// atomically consistent — Metrics holds the router lock exclusively, so
+// no operation (in particular no multi-cluster Apply) is in flight while
+// the clusters are read.
 func (r *Router) Metrics() kv.Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var agg kv.Metrics
 	for _, st := range r.stores {
 		m := st.Metrics()
@@ -405,6 +613,7 @@ func (r *Router) Metrics() kv.Metrics {
 		agg.Deletes += m.Deletes
 		agg.Scans += m.Scans
 		agg.ScannedPairs += m.ScannedPairs
+		agg.ScanDiscardedPairs += m.ScanDiscardedPairs
 		agg.MultiGets += m.MultiGets
 		agg.Batches += m.Batches
 		agg.Commits += m.Commits
@@ -419,16 +628,34 @@ func (r *Router) Metrics() kv.Metrics {
 		agg.CompactionNS = append(agg.CompactionNS, m.CompactionNS...)
 		agg.PerShardBusyNS = append(agg.PerShardBusyNS, m.PerShardBusyNS...)
 		agg.PerShardChurnNS = append(agg.PerShardChurnNS, m.PerShardChurnNS...)
+		agg.PerShardFill = append(agg.PerShardFill, m.PerShardFill...)
+		agg.PerShardLive = append(agg.PerShardLive, m.PerShardLive...)
 		agg.WriteLatencies = append(agg.WriteLatencies, m.WriteLatencies...)
 	}
+	agg.ScanDiscardedPairs += r.scanDiscarded.Load()
 	return agg
 }
 
-// ResetMetrics zeroes every cluster's counters and clocks.
+// ResetMetrics zeroes every cluster's counters and clocks, and the
+// router's discarded-pair counter.
 func (r *Router) ResetMetrics() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, st := range r.stores {
 		st.ResetMetrics()
 	}
+	r.scanDiscarded.Store(0)
+}
+
+// nowNS sums the pooled clusters' clocks without taking the router lock
+// (the store slice is immutable and each store's clock read is
+// internally synchronized).
+func (r *Router) nowNS() float64 {
+	total := 0.0
+	for _, st := range r.stores {
+		total += st.NowNS()
+	}
+	return total
 }
 
 // NowNS returns the sum of the pooled clusters' independent simulated
@@ -436,9 +663,5 @@ func (r *Router) ResetMetrics() {
 // operation measure its cost (its owning cluster is the only clock that
 // advances; a fan-out op's delta is the summed cost across clusters).
 func (r *Router) NowNS() float64 {
-	total := 0.0
-	for _, st := range r.stores {
-		total += st.NowNS()
-	}
-	return total
+	return r.nowNS()
 }
