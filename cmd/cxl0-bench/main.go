@@ -16,12 +16,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"cxl0/internal/core"
+	"cxl0/internal/faults"
 	"cxl0/internal/kv"
 	"cxl0/internal/workload"
 )
@@ -43,6 +45,7 @@ type benchConfig struct {
 	EvictEvery     int      `json:"evict_every"`
 	RebalanceEvery int      `json:"rebalance_every"`
 	CompactAtFill  float64  `json:"compact_at_fill"`
+	CampaignEvery  int      `json:"campaign_every"`
 	Seed           int64    `json:"seed"`
 	Workloads      []string `json:"workloads"`
 	Strategies     []string `json:"strategies"`
@@ -89,9 +92,69 @@ type headline struct {
 	// rows (per-shard logs sized far below the workload's append volume,
 	// auto-compaction on) complete without ShardFullError, and this row
 	// reports how hard compaction worked to make that possible.
-	Compaction     *compactionHead `json:"compaction,omitempty"`
-	BestThroughput float64         `json:"best_throughput_ops_per_sec"`
-	BestConfig     string          `json:"best_config"`
+	Compaction *compactionHead `json:"compaction,omitempty"`
+	// FaultCampaign is the graceful-degradation claim: per campaign
+	// class, throughput retention against the fault-free baseline and
+	// the recovery-time distribution — scripted correlated crashes,
+	// degraded devices and fabric partitions versus the uniform-churn
+	// baseline (see internal/faults and docs/faults.md).
+	FaultCampaign  faultCampaignHead `json:"fault_campaign"`
+	BestThroughput float64           `json:"best_throughput_ops_per_sec"`
+	BestConfig     string            `json:"best_config"`
+}
+
+// faultCampaignHead summarizes the campaign sweep: one entry per
+// campaign class, each aggregated over the swept strategies at the
+// sweep's fixed configuration.
+type faultCampaignHead struct {
+	// Config is the fixed workload/shards/variant the sweep ran at (the
+	// campaign rows in results carry the per-strategy detail).
+	Config string `json:"config"`
+	// Classes reports each campaign class against the fault-free
+	// baseline ("none"), in sweep order: uniform churn first, then the
+	// structured classes, so every class reads against both baselines.
+	Classes []campaignClassHead `json:"classes"`
+}
+
+// campaignClassHead is one campaign class's aggregate over the swept
+// strategies.
+type campaignClassHead struct {
+	Campaign string `json:"campaign"`
+	// Retention is the class's goodput over the fault-free baseline's
+	// for the same strategy: the mean across strategies, and the
+	// worst/best strategy with its ratio. Goodput counts served
+	// operations only, so retention captures the clock-time cost of a
+	// class (degradation, recovery churn) — but not denied load, which
+	// costs nothing on the clock. Availability below captures that:
+	// the served fraction of offered operations. Under the GPF-based
+	// strategies a partition blocks commits cluster-wide, so
+	// "partitioned" availability splits sharply by strategy — that
+	// split is the blast-radius claim.
+	MeanRetention  float64 `json:"mean_retention"`
+	WorstRetention float64 `json:"worst_retention"`
+	WorstStrategy  string  `json:"worst_strategy"`
+	BestRetention  float64 `json:"best_retention"`
+	BestStrategy   string  `json:"best_strategy"`
+	// Availability is served ops over offered ops (1 on a class that
+	// denies nothing, like "degraded").
+	MeanAvailability          float64 `json:"mean_availability"`
+	WorstAvailability         float64 `json:"worst_availability"`
+	WorstAvailabilityStrategy string  `json:"worst_availability_strategy"`
+	// Recovery-time distribution, worst case across the swept strategies
+	// on the simulated clock: Outage* are crash-to-recovered windows,
+	// RecoveryP95NS the recovery work itself, PartitionP95NS the
+	// partition-to-heal window. Zero where the class injects no fault of
+	// that kind.
+	OutageP50NS    float64 `json:"outage_p50_ns"`
+	OutageP95NS    float64 `json:"outage_p95_ns"`
+	RecoveryP95NS  float64 `json:"recovery_p95_ns"`
+	PartitionP95NS float64 `json:"partition_p95_ns"`
+	// Denied-operation totals across the swept strategies: FailedOps hit
+	// crashed shards, UnavailableOps partitioned ones, PartialResults
+	// counts fan-out reads that degraded instead of failing.
+	FailedOps      int `json:"failed_ops"`
+	UnavailableOps int `json:"unavailable_ops"`
+	PartialResults int `json:"partial_results"`
 }
 
 // compactionHead summarizes the capacity-pressure rows.
@@ -274,8 +337,79 @@ func main() {
 		}
 	}
 
+	// Fault-campaign sweep: every strategy × campaign class at one fixed
+	// configuration (the first workload-A spec, the largest shard count,
+	// the first variant, single cluster), plus a fault-free "none"
+	// baseline per strategy for the retention ratios. With >1 pooled
+	// cluster in the matrix, one pooled partitioned pair rides along to
+	// show partition blast radius staying cluster-local.
+	campaignEvery := *ops / 5
+	if campaignEvery < 2 {
+		campaignEvery = 2
+	}
+	faultSpec := specs[0]
+	for _, s := range specs {
+		if s.Name == "A" {
+			faultSpec = s
+		}
+	}
+	maxShards := shardCounts[0]
+	for _, s := range shardCounts {
+		if s > maxShards {
+			maxShards = s
+		}
+	}
+	maxClusters := clusterCounts[0]
+	for _, c := range clusterCounts {
+		if c > maxClusters {
+			maxClusters = c
+		}
+	}
+	campaignClasses := []string{"none", "uniform", "correlated", "degraded", "partitioned"}
+	var faultRows []workload.Result
+	runCampaign := func(strat kv.Strategy, clusters int, campaign *faults.Campaign) {
+		res, err := workload.Run(workload.Options{
+			Spec: faultSpec,
+			Store: kv.Config{
+				Shards:     maxShards,
+				Strategy:   strat,
+				Batch:      *batch,
+				Variant:    variants[0],
+				EvictEvery: *evictEvery,
+				Colocate:   *colocate,
+			},
+			Clusters: clusters,
+			Ops:      *ops,
+			Seed:     *seed,
+			Campaign: campaign,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s/%v/%d/%dcl/campaign=%s: %w", faultSpec.Name, strat, maxShards, clusters, campaign.Name, err))
+		}
+		faultRows = append(faultRows, res)
+		printRow(res, "f")
+	}
+	for _, strat := range strategies {
+		for _, class := range campaignClasses {
+			runCampaign(strat, 1, campaignFor(class, *ops, maxShards, campaignEvery))
+		}
+	}
+	if maxClusters > 1 {
+		total := maxShards * maxClusters
+		runCampaign(strategies[0], maxClusters, campaignFor("none", *ops, total, campaignEvery))
+		runCampaign(strategies[0], maxClusters, campaignFor("partitioned", *ops, total, campaignEvery))
+	}
+	results = append(results, faultRows...)
+
 	head := summarize(results, shardCounts, *keys)
+	head.FaultCampaign = summarizeCampaigns(faultRows,
+		fmt.Sprintf("%s/%d/%s", faultSpec.Name, maxShards, variants[0].String()))
 	fmt.Println()
+	for _, ch := range head.FaultCampaign.Classes {
+		fmt.Printf("fault campaign %-11s retention: mean %.2f, worst %.2f (%s), best %.2f (%s); availability: mean %.2f, worst %.2f (%s)\n",
+			ch.Campaign, ch.MeanRetention, ch.WorstRetention, ch.WorstStrategy, ch.BestRetention, ch.BestStrategy,
+			ch.MeanAvailability, ch.WorstAvailability, ch.WorstAvailabilityStrategy)
+	}
 	if head.GroupConfig != "" {
 		fmt.Printf("headline: group commit is %.1fx per-op GPF throughput (%s)\n",
 			head.GroupVsGPFSpeedup, head.GroupConfig)
@@ -312,7 +446,7 @@ func main() {
 			Config: benchConfig{
 				Ops: *ops, Keys: *keys, Batch: *batch, CrashEvery: *crashEvery,
 				EvictEvery: *evictEvery, RebalanceEvery: *rebalanceEvery,
-				CompactAtFill: *compactAtFill, Seed: *seed,
+				CompactAtFill: *compactAtFill, CampaignEvery: campaignEvery, Seed: *seed,
 				Workloads: strings.Split(*workloadsF, ","), Strategies: strings.Split(*strategiesF, ","),
 				Shards: shardCounts, Clusters: clusterCounts, Variants: strings.Split(*variantsF, ","),
 			},
@@ -347,8 +481,93 @@ func pressureCapacity(keys, inserts, shards int) int {
 	return (keys+inserts)/shards + 64
 }
 
+// campaignFor builds one campaign class's schedule for the sweep's
+// fixed op count and (global) shard count. "none" is the fault-free
+// baseline: an empty campaign, so the row still runs the tolerant
+// campaign path but injects nothing.
+func campaignFor(class string, ops, shards, every int) *faults.Campaign {
+	c, err := faults.ForClass(class, ops, shards, every)
+	if err != nil {
+		fatal(err)
+	}
+	return c
+}
+
+// summarizeCampaigns aggregates the campaign rows into the fault_campaign
+// headline: per class, throughput retention against the same strategy's
+// fault-free "none" row and the worst-case recovery-time percentiles.
+func summarizeCampaigns(rows []workload.Result, config string) faultCampaignHead {
+	head := faultCampaignHead{Config: config}
+	// Retention compares goodput, not throughput: denied operations cost
+	// nothing on the simulated clock, so a class that blocks lots of
+	// writes would otherwise look faster than the baseline.
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Campaign == "none" {
+			base[fmt.Sprintf("%s/%d", r.Strategy, r.Clusters)] = r.GoodputOpsPerSec
+		}
+	}
+	for _, class := range []string{"uniform", "correlated", "degraded", "partitioned"} {
+		ch := campaignClassHead{Campaign: class, WorstRetention: math.Inf(1), WorstAvailability: math.Inf(1)}
+		n := 0
+		for _, r := range rows {
+			if r.Campaign != class {
+				continue
+			}
+			if b := base[fmt.Sprintf("%s/%d", r.Strategy, r.Clusters)]; b > 0 {
+				ret := r.GoodputOpsPerSec / b
+				ch.MeanRetention += ret
+				n++
+				if ret < ch.WorstRetention {
+					ch.WorstRetention, ch.WorstStrategy = ret, r.Strategy
+				}
+				if ret > ch.BestRetention {
+					ch.BestRetention, ch.BestStrategy = ret, r.Strategy
+				}
+			}
+			if r.Ops > 0 {
+				avail := float64(r.Ops-r.FailedOps-r.UnavailableOps) / float64(r.Ops)
+				ch.MeanAvailability += avail
+				if avail < ch.WorstAvailability {
+					ch.WorstAvailability, ch.WorstAvailabilityStrategy = avail, r.Strategy
+				}
+			}
+			ch.OutageP50NS = math.Max(ch.OutageP50NS, r.OutageP50NS)
+			ch.OutageP95NS = math.Max(ch.OutageP95NS, r.OutageP95NS)
+			ch.RecoveryP95NS = math.Max(ch.RecoveryP95NS, r.RecoveryP95NS)
+			ch.PartitionP95NS = math.Max(ch.PartitionP95NS, r.PartitionP95NS)
+			ch.FailedOps += r.FailedOps
+			ch.UnavailableOps += r.UnavailableOps
+			ch.PartialResults += r.PartialResults
+		}
+		if n > 0 {
+			ch.MeanRetention /= float64(n)
+			ch.MeanAvailability /= float64(n)
+		}
+		if math.IsInf(ch.WorstRetention, 1) {
+			ch.WorstRetention = 0
+		}
+		if math.IsInf(ch.WorstAvailability, 1) {
+			ch.WorstAvailability = 0
+		}
+		head.Classes = append(head.Classes, ch)
+	}
+	return head
+}
+
 // summarize derives the headline claims from the full result matrix.
-func summarize(results []workload.Result, shardCounts []int, keys int) headline {
+// Campaign rows are excluded: they run fault schedules no other row
+// runs, so folding them into the batching/pooling/skew comparisons (or
+// the best-throughput pick — the fault-free "none" baseline rows skip
+// the default crash churn) would skew those claims; summarizeCampaigns
+// reads them instead.
+func summarize(all []workload.Result, shardCounts []int, keys int) headline {
+	var results []workload.Result
+	for _, r := range all {
+		if r.Campaign == "" {
+			results = append(results, r)
+		}
+	}
 	var head headline
 	minShards, maxShards := shardCounts[0], shardCounts[0]
 	for _, s := range shardCounts {

@@ -21,7 +21,8 @@ const dashboardHTML = `<!doctype html>
     --busy: #2a78d6; --fill: #1baf7a;
     --k-op: #2a78d6; --k-commit: #eb6834; --k-migration: #1baf7a;
     --k-compaction: #eda100; --k-crash: #e87ba4; --k-recover: #008300;
-    --k-rebalance: #4a3aa7;
+    --k-rebalance: #4a3aa7; --k-partition: #8a5cd6; --k-heal: #0e8f8f;
+    --k-degrade: #a06a00;
   }
   @media (prefers-color-scheme: dark) {
     :root {
@@ -31,7 +32,8 @@ const dashboardHTML = `<!doctype html>
       --busy: #3987e5; --fill: #199e70;
       --k-op: #3987e5; --k-commit: #d95926; --k-migration: #199e70;
       --k-compaction: #c98500; --k-crash: #d55181; --k-recover: #008300;
-      --k-rebalance: #9085e9;
+      --k-rebalance: #9085e9; --k-partition: #c06ad0; --k-heal: #2ab3ba;
+      --k-degrade: #c98a33;
     }
   }
   * { box-sizing: border-box; }
@@ -122,9 +124,13 @@ function barCell(share, kind, text) {
 }
 
 function render(m) {
+  var f = m.faults || {};
+  var down = f.down || [], cut = f.partitioned || [], slow = f.degraded || [];
   el("sub").textContent = "workload " + m.workload + " over " + m.clusters +
     " cluster(s) · up " + Math.round(m.uptime_sec) + "s · " +
-    fmt(m.ops) + " ops driven (" + m.failed + " refused)";
+    fmt(m.ops) + " ops driven (" + m.failed + " failed, " +
+    (f.unavailable || 0) + " unavailable)" +
+    (f.campaign ? " · " + f.campaign + " campaign" : "");
   var opsRate = 0;
   (m.obs.ops || []).forEach(function (o) { opsRate += o.rate_per_sec; });
   el("tiles").innerHTML =
@@ -135,6 +141,14 @@ function render(m) {
     tile("compactions", fmt(m.kv.compactions)) +
     tile("migrations", fmt(m.kv.migrations)) +
     tile("recoveries", fmt(m.kv.recoveries)) +
+    tile("impaired", down.length + " / " + cut.length + " / " + slow.length,
+      "shards down / partitioned / degraded right now" +
+      (down.length ? " — down: " + down.join(",") : "") +
+      (cut.length ? " — partitioned: " + cut.join(",") : "") +
+      (slow.length ? " — degraded: " + slow.join(",") : "")) +
+    tile("unavailable", fmt(f.unavailable || 0),
+      "ops denied by a fabric partition (data intact); " +
+      (f.partial_results || 0) + " fan-outs returned partial results") +
     tile("scan discard", fmt(m.kv.scan_discarded_pairs), "pairs fetched by pooled scans and cut in the merge");
 
   var sh = "";
@@ -175,7 +189,8 @@ function detail(e) {
   if (e.cluster >= 0) parts.push("c" + e.cluster);
   if (e.shard >= 0) parts.push("sh" + e.shard);
   if (e.bucket >= 0) parts.push("b" + e.bucket + " " + e.from + "→" + e.to);
-  if (e.n) parts.push("n=" + e.n);
+  if (e.kind === "degrade" && e.n) parts.push("×" + e.n / 100);
+  else if (e.n) parts.push("n=" + e.n);
   if (e.acked) parts.push("acked=" + e.acked);
   if (e.lost) parts.push("lost=" + e.lost);
   var cost = e.end_ns - e.start_ns;
@@ -195,7 +210,8 @@ function addEvent(e) {
   el("evcount").textContent = "· " + seenEvents + " received";
 }
 var es = new EventSource("/events");
-["op", "commit", "migration", "compaction", "crash", "recover", "rebalance"]
+["op", "commit", "migration", "compaction", "crash", "recover", "rebalance",
+ "partition", "heal", "degrade"]
   .forEach(function (kind) {
     es.addEventListener(kind, function (msg) { addEvent(JSON.parse(msg.data)); });
   });

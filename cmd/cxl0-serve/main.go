@@ -10,7 +10,11 @@
 // The driver paces a YCSB-style workload on the host clock (-rate) and
 // periodically injects crash/recover cycles, rebalance checks and
 // compaction sweeps, so every event kind in internal/obs flows through
-// the stream. SIGINT/SIGTERM shut the server down cleanly (exit 0).
+// the stream. With -campaign it additionally loops a scripted fault
+// campaign (internal/faults) — correlated crashes, device degradation
+// or fabric partitions — so the dashboard shows structured fault churn
+// and graceful degradation, not just uniform crash cycles.
+// SIGINT/SIGTERM shut the server down cleanly (exit 0).
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"cxl0/internal/core"
+	"cxl0/internal/faults"
 	"cxl0/internal/kv"
 	"cxl0/internal/obs"
 	"cxl0/internal/pool"
@@ -54,6 +59,8 @@ func run() error {
 	crashEvery := flag.Int("crash-every", 4000, "ops between crash+recover cycles (0 disables)")
 	rebalanceEvery := flag.Int("rebalance-every", 1500, "ops between rebalance checks (0 disables)")
 	compactEvery := flag.Int("compact-every", 2500, "ops between compaction sweeps (0 disables)")
+	campaignF := flag.String("campaign", "", "looping fault-campaign class (uniform, correlated, degraded, partitioned; empty disables)")
+	campaignEvery := flag.Int("campaign-every", 2000, "ops between campaign fault windows")
 	seed := flag.Int64("seed", 1, "workload seed")
 	busSize := flag.Int("bus", obs.DefaultBusSize, "event bus ring size")
 	flag.Parse()
@@ -72,6 +79,16 @@ func run() error {
 	}
 	if *rate <= 0 {
 		return fmt.Errorf("cxl0-serve: -rate must be positive")
+	}
+	if *campaignF != "" {
+		if *campaignEvery <= 0 {
+			return fmt.Errorf("cxl0-serve: -campaign-every must be positive")
+		}
+		// Validate the class name up front; drive rebuilds the schedule
+		// each cycle.
+		if _, err := faults.ForClass(*campaignF, 1, 1, 1); err != nil {
+			return err
+		}
 	}
 
 	r, err := pool.Open(pool.Config{
@@ -94,6 +111,7 @@ func run() error {
 	s := &server{
 		db: r, bus: bus, stats: stats,
 		spec: spec, started: time.Now(),
+		campaign: *campaignF,
 	}
 	for k := 0; k < spec.Keys; k++ {
 		if _, err := r.Put(core.Val(k), core.Val(k+1)); err != nil {
@@ -111,7 +129,7 @@ func run() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.drive(ctx, *rate, *seed, *crashEvery, *rebalanceEvery, *compactEvery)
+		s.drive(ctx, *rate, *seed, *crashEvery, *rebalanceEvery, *compactEvery, *campaignF, *campaignEvery)
 	}()
 
 	srv := &http.Server{Addr: *addr, Handler: s.mux()}
@@ -120,8 +138,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("cxl0-serve: %d cluster(s) × %d shard(s), %s strategy, workload %s at %d ops/s on %s",
-		*clusters, *shards, strat, spec.Name, *rate, ln.Addr())
+	campaignNote := ""
+	if *campaignF != "" {
+		campaignNote = fmt.Sprintf(", %s campaign every %d ops", *campaignF, *campaignEvery)
+	}
+	log.Printf("cxl0-serve: %d cluster(s) × %d shard(s), %s strategy, workload %s at %d ops/s%s on %s",
+		*clusters, *shards, strat, spec.Name, *rate, campaignNote, ln.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -144,14 +166,17 @@ func run() error {
 
 // server bundles the observed pooled service behind the HTTP handlers.
 type server struct {
-	db      *pool.Router
-	bus     *obs.Bus
-	stats   *obs.Stats
-	spec    workload.Spec
-	started time.Time
+	db       *pool.Router
+	bus      *obs.Bus
+	stats    *obs.Stats
+	spec     workload.Spec
+	started  time.Time
+	campaign string // looping fault-campaign class, "" when disabled
 
-	ops    atomic.Uint64 // workload ops driven
-	failed atomic.Uint64 // ops the service refused (e.g. mid-crash)
+	ops         atomic.Uint64 // workload ops driven
+	failed      atomic.Uint64 // ops lost to a crashed shard (data at risk)
+	unavailable atomic.Uint64 // ops denied by a fabric partition (data intact)
+	partial     atomic.Uint64 // fan-outs that degraded to a partial result
 }
 
 // mux routes the three endpoints; shared with the handler tests.
@@ -165,8 +190,12 @@ func (s *server) mux() *http.ServeMux {
 
 // drive paces the workload on the host clock until ctx is done. Failures
 // from a shard that is down mid-churn are counted, not fatal — a live
-// service keeps serving what it can.
-func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, rebalanceEvery, compactEvery int) {
+// service keeps serving what it can. When campaignClass is set, a
+// scripted fault campaign loops forever: each cycle spans four fault
+// windows, then Finish() heals and recovers everything before the next
+// cycle starts, so the dashboard shows repeated inject→degrade→restore
+// arcs.
+func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, rebalanceEvery, compactEvery int, campaignClass string, campaignEvery int) {
 	gen := workload.NewGenerator(s.spec, seed)
 	interval := time.Second / time.Duration(rate)
 	if interval <= 0 {
@@ -174,6 +203,23 @@ func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, re
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+
+	var eng *faults.Engine
+	var sched *faults.Campaign
+	horizon, cycle := 0, 0
+	if campaignClass != "" {
+		// The +1 makes the last window's At index (4×every) land inside
+		// the cycle, so all four windows fire before Finish().
+		horizon = 4*campaignEvery + 1
+		var err error
+		sched, err = faults.ForClass(campaignClass, horizon, s.db.NumShards(), campaignEvery)
+		if err != nil {
+			log.Printf("drive: campaign: %v", err)
+			return
+		}
+		eng = faults.New(s.db, sched)
+	}
+
 	crashShard := 0
 	for i := 1; ; i++ {
 		select {
@@ -181,12 +227,36 @@ func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, re
 			return
 		case <-tick.C:
 		}
-		if crashEvery > 0 && i%crashEvery == 0 {
-			sh := crashShard % s.db.NumShards()
-			crashShard++
-			s.db.Crash(sh)
-			if _, err := s.db.Recover(sh); err != nil {
+		if eng != nil {
+			if c := (i - 1) / horizon; c != cycle {
+				if err := eng.Finish(); err != nil {
+					log.Printf("drive: campaign finish: %v", err)
+					s.failed.Add(1)
+				}
+				eng = faults.New(s.db, sched)
+				cycle = c
+			}
+			if err := eng.Step((i - 1) % horizon); err != nil {
+				log.Printf("drive: campaign step: %v", err)
 				s.failed.Add(1)
+			}
+		}
+		if crashEvery > 0 && i%crashEvery == 0 {
+			// Rotate over healthy shards only: injecting into a shard the
+			// campaign already holds down (or off the fabric) would
+			// double-fault it and break the campaign's outage accounting.
+			hs := s.db.Health()
+			for probe := 0; probe < len(hs); probe++ {
+				cand := (crashShard + probe) % len(hs)
+				if hs[cand].Down || hs[cand].Partitioned {
+					continue
+				}
+				crashShard = cand + 1
+				s.db.Crash(cand)
+				if _, err := s.db.Recover(cand); err != nil {
+					s.failed.Add(1)
+				}
+				break
 			}
 		}
 		if rebalanceEvery > 0 && i%rebalanceEvery == 0 {
@@ -210,7 +280,14 @@ func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, re
 			_, err = s.db.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen)
 		}
 		s.ops.Add(1)
-		if err != nil {
+		var partial *kv.PartialResultError
+		switch {
+		case err == nil:
+		case errors.As(err, &partial):
+			s.partial.Add(1)
+		case errors.Is(err, kv.ErrUnavailable):
+			s.unavailable.Add(1)
+		default:
 			s.failed.Add(1)
 		}
 	}
@@ -235,6 +312,18 @@ type metricsSnapshot struct {
 	Ops       uint64  `json:"ops"`
 	Failed    uint64  `json:"failed"`
 	SimNS     float64 `json:"sim_ns"`
+
+	// Faults reports the fault-campaign surface: the configured class,
+	// the graceful-degradation counters (see docs/faults.md for the
+	// taxonomy) and which shards are currently impaired.
+	Faults struct {
+		Campaign    string `json:"campaign"`
+		Unavailable uint64 `json:"unavailable"`
+		Partial     uint64 `json:"partial_results"`
+		Down        []int  `json:"down"`
+		Partitioned []int  `json:"partitioned"`
+		Degraded    []int  `json:"degraded"`
+	} `json:"faults"`
 
 	KV struct {
 		Puts               uint64 `json:"puts"`
@@ -271,6 +360,23 @@ func (s *server) snapshot() metricsSnapshot {
 	doc.Ops = s.ops.Load()
 	doc.Failed = s.failed.Load()
 	doc.SimNS = s.db.NowNS()
+	doc.Faults.Campaign = s.campaign
+	doc.Faults.Unavailable = s.unavailable.Load()
+	doc.Faults.Partial = s.partial.Load()
+	doc.Faults.Down = []int{}
+	doc.Faults.Partitioned = []int{}
+	doc.Faults.Degraded = []int{}
+	for _, h := range s.db.Health() {
+		if h.Down {
+			doc.Faults.Down = append(doc.Faults.Down, h.Shard)
+		}
+		if h.Partitioned {
+			doc.Faults.Partitioned = append(doc.Faults.Partitioned, h.Shard)
+		}
+		if h.DegradeFactor > 1 {
+			doc.Faults.Degraded = append(doc.Faults.Degraded, h.Shard)
+		}
+	}
 	doc.KV.Puts, doc.KV.Gets, doc.KV.Deletes = m.Puts, m.Gets, m.Deletes
 	doc.KV.Scans, doc.KV.ScannedPairs, doc.KV.ScanDiscardedPairs = m.Scans, m.ScannedPairs, m.ScanDiscardedPairs
 	doc.KV.Acked, doc.KV.Commits, doc.KV.DroppedPending = m.Acked, m.Commits, m.DroppedPending

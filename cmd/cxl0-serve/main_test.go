@@ -38,7 +38,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	spec.Keys = 100
-	s := &server{db: r, bus: bus, stats: stats, spec: spec, started: time.Now()}
+	s := &server{db: r, bus: bus, stats: stats, spec: spec, started: time.Now(), campaign: "partitioned"}
 	for k := 0; k < spec.Keys; k++ {
 		if _, err := r.Put(core.Val(k), core.Val(k+1)); err != nil {
 			t.Fatal(err)
@@ -53,7 +53,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.drive(ctx, 2000, 3, 500, 200, 300)
+		s.drive(ctx, 2000, 3, 500, 200, 300, "partitioned", 150)
 	}()
 
 	ts := httptest.NewServer(s.mux())
@@ -104,6 +104,12 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	}
 	if m2.Bus.Published == 0 {
 		t.Fatal("bus published nothing despite instrumentation")
+	}
+	if m2.Faults.Campaign != "partitioned" {
+		t.Fatalf("faults block reports campaign %q, want partitioned", m2.Faults.Campaign)
+	}
+	if m2.Faults.Down == nil || m2.Faults.Partitioned == nil || m2.Faults.Degraded == nil {
+		t.Fatalf("faults shard lists must be present (empty, not null): %+v", m2.Faults)
 	}
 }
 

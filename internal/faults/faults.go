@@ -1,0 +1,411 @@
+// Package faults drives scripted fault campaigns against a kv.DB: a
+// Campaign is a deterministic schedule of fault events — correlated
+// multi-shard crashes, fabric partitions, per-device degradation — keyed
+// to operation indices, and an Engine fires them as a workload advances,
+// measuring the outage and recovery windows they cause.
+//
+// Campaigns replace the uniform crash-churn knob (workload
+// Options.CrashEvery) with structured fault classes:
+//
+//   - Uniform: one crash+immediate-recover cycle rotating over shards —
+//     the legacy knob, expressed as a campaign so the classes share one
+//     measurement path.
+//   - Correlated: several shards crash at the same operation index (one
+//     blast radius, as when a rack or fabric switch fails) and recover
+//     together later — in schedule order, which is the campaign's order,
+//     not the caller's.
+//   - Degraded: a device serves at a latency multiple for a window — the
+//     slow-device failure mode, which charges realistic costs instead of
+//     failing.
+//   - Partitioned: a shard becomes unreachable for a window and then
+//     heals; nothing is lost, so no recovery follows.
+//
+// The engine is deterministic: same campaign, same workload, same
+// timeline — bit-identical with and without observability attached. See
+// docs/faults.md.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cxl0/internal/kv"
+)
+
+// Action is the kind of one campaign event.
+type Action int
+
+const (
+	// Crash fails the target shards' machines at the same simulated
+	// instant — one correlated blast. Shards already down are skipped
+	// (counted in Stats.Skipped), never double-injected.
+	Crash Action = iota
+	// Recover restarts the target shards in the listed order — the
+	// campaign's schedule decides recovery order, not the caller. A
+	// partitioned target is healed first (partition-heal-then-recover);
+	// targets that are not down are skipped.
+	Recover
+	// Partition cuts the target shards off the fabric. Already
+	// partitioned or down targets are skipped.
+	Partition
+	// Heal reconnects partitioned targets; others are skipped.
+	Heal
+	// Degrade sets the target devices' latency multiplier to Factor
+	// (Factor 1 restores full speed). Never skipped — re-degrading is a
+	// factor change, not an injection.
+	Degrade
+)
+
+var actionNames = [...]string{"crash", "recover", "partition", "heal", "degrade"}
+
+func (a Action) String() string {
+	if a >= 0 && int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Event is one scheduled fault: at measured-operation index At, apply
+// Action to Shards (global indices). Factor is the Degrade multiplier,
+// ignored by other actions.
+type Event struct {
+	At     int     `json:"at"`
+	Action Action  `json:"action"`
+	Shards []int   `json:"shards"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Campaign is a named, deterministic fault schedule. Events fire in
+// slice order once their At index is reached; events sharing an At fire
+// back to back at the same simulated instant (that is what makes a
+// multi-shard Crash event correlated — and distinct events at one At
+// stay ordered, so "partition then crash" at the same tick is
+// expressible).
+type Campaign struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// sorted returns the events in firing order: ascending At, schedule
+// order within one At (stable).
+func (c *Campaign) sorted() []Event {
+	evs := make([]Event, len(c.Events))
+	copy(evs, c.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// Stats is what one campaign run measured.
+type Stats struct {
+	// Campaign names the schedule that ran.
+	Campaign string `json:"campaign"`
+	// Injection counters: faults actually applied (skipped injections —
+	// a crash into an already-down shard, a partition of a partitioned
+	// one — count in Skipped instead, never double-applied).
+	Crashes    int `json:"crashes"`
+	Recoveries int `json:"recoveries"`
+	Partitions int `json:"partitions"`
+	Heals      int `json:"heals"`
+	Degrades   int `json:"degrades"`
+	Skipped    int `json:"skipped"`
+	// RecordsLost sums the records destroyed by the campaign's crashes,
+	// as reported by the recoveries.
+	RecordsLost int `json:"records_lost"`
+	// RecoveryNS are the simulated costs of the recoveries themselves
+	// (the replay/truncate work); OutageNS the full crash-to-recovered
+	// windows on the simulated clock; PartitionNS the partition-to-heal
+	// windows. Each is in event order.
+	RecoveryNS  []float64 `json:"-"`
+	OutageNS    []float64 `json:"-"`
+	PartitionNS []float64 `json:"-"`
+}
+
+// Engine fires one campaign against one DB as a workload advances. Not
+// safe for concurrent use; drive it from the workload loop.
+type Engine struct {
+	db     kv.DB
+	events []Event
+	next   int
+
+	downAt    map[int]float64 // shard -> NowNS at crash
+	downOrder []int           // down shards in crash order
+	partAt    map[int]float64 // shard -> NowNS at partition
+	partOrder []int           // partitioned shards in partition order
+
+	stats Stats
+}
+
+// New builds an engine firing c against db. The schedule is copied and
+// ordered; the campaign value is not retained.
+func New(db kv.DB, c *Campaign) *Engine {
+	return &Engine{
+		db:     db,
+		events: c.sorted(),
+		downAt: map[int]float64{},
+		partAt: map[int]float64{},
+		stats:  Stats{Campaign: c.Name},
+	}
+}
+
+// Step fires every not-yet-fired event whose At index is <= op. Call it
+// once per measured operation, before executing the operation.
+func (e *Engine) Step(op int) error {
+	for e.next < len(e.events) && e.events[e.next].At <= op {
+		if err := e.fire(e.events[e.next]); err != nil {
+			return err
+		}
+		e.next++
+	}
+	return nil
+}
+
+func (e *Engine) fire(ev Event) error {
+	switch ev.Action {
+	case Crash:
+		for _, sh := range ev.Shards {
+			e.crash(sh)
+		}
+	case Recover:
+		for _, sh := range ev.Shards {
+			if err := e.recover(sh); err != nil {
+				return err
+			}
+		}
+	case Partition:
+		for _, sh := range ev.Shards {
+			e.partition(sh)
+		}
+	case Heal:
+		for _, sh := range ev.Shards {
+			e.heal(sh)
+		}
+	case Degrade:
+		for _, sh := range ev.Shards {
+			e.db.Degrade(sh, ev.Factor)
+			e.stats.Degrades++
+		}
+	default:
+		return fmt.Errorf("faults: unknown action %v at op %d", ev.Action, ev.At)
+	}
+	return nil
+}
+
+func (e *Engine) crash(sh int) {
+	if _, down := e.downAt[sh]; down {
+		e.stats.Skipped++
+		return
+	}
+	e.downAt[sh] = e.db.NowNS()
+	e.downOrder = append(e.downOrder, sh)
+	e.db.Crash(sh)
+	e.stats.Crashes++
+}
+
+func (e *Engine) recover(sh int) error {
+	since, down := e.downAt[sh]
+	if !down {
+		e.stats.Skipped++
+		return nil
+	}
+	// A crashed shard behind a partition heals first: recovery needs the
+	// fabric (kv.Store.Recover refuses with ErrUnavailable otherwise).
+	if _, part := e.partAt[sh]; part {
+		e.heal(sh)
+	}
+	start := e.db.NowNS()
+	stats, err := e.db.Recover(sh)
+	if err != nil {
+		return fmt.Errorf("faults: recover shard %d: %w", sh, err)
+	}
+	now := e.db.NowNS()
+	e.stats.Recoveries++
+	e.stats.RecordsLost += stats.Lost
+	e.stats.RecoveryNS = append(e.stats.RecoveryNS, now-start)
+	e.stats.OutageNS = append(e.stats.OutageNS, now-since)
+	delete(e.downAt, sh)
+	for i, d := range e.downOrder {
+		if d == sh {
+			e.downOrder = append(e.downOrder[:i], e.downOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (e *Engine) partition(sh int) {
+	_, part := e.partAt[sh]
+	_, down := e.downAt[sh]
+	if part || down {
+		e.stats.Skipped++
+		return
+	}
+	e.partAt[sh] = e.db.NowNS()
+	e.partOrder = append(e.partOrder, sh)
+	e.db.Partition(sh)
+	e.stats.Partitions++
+}
+
+func (e *Engine) heal(sh int) {
+	since, part := e.partAt[sh]
+	if !part {
+		e.stats.Skipped++
+		return
+	}
+	e.db.Heal(sh)
+	e.stats.Heals++
+	e.stats.PartitionNS = append(e.stats.PartitionNS, e.db.NowNS()-since)
+	delete(e.partAt, sh)
+	for i, p := range e.partOrder {
+		if p == sh {
+			e.partOrder = append(e.partOrder[:i], e.partOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Down reports whether the campaign currently holds shard sh down.
+func (e *Engine) Down(sh int) bool {
+	_, down := e.downAt[sh]
+	return down
+}
+
+// Finish drains the campaign: remaining scheduled events fire, then
+// every still-partitioned shard heals (in partition order) and every
+// still-down shard recovers (in crash order — the campaign schedule's
+// order, preserved). A run therefore always ends with a healthy service.
+func (e *Engine) Finish() error {
+	if err := e.Step(math.MaxInt); err != nil {
+		return err
+	}
+	for len(e.partOrder) > 0 {
+		e.heal(e.partOrder[0])
+	}
+	for len(e.downOrder) > 0 {
+		if err := e.recover(e.downOrder[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns what the campaign has measured so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// PercentileNS returns the p-th percentile (nearest-rank, p in [0,100])
+// of xs, which need not be sorted. Returns 0 for an empty slice.
+func PercentileNS(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// The class generators below script the benchmark's campaign classes.
+// All are deterministic in their arguments; shards rotate round-robin so
+// repeated windows spread over the service.
+
+// ForClass builds the named campaign class over ops operations and
+// shards shards (global indices), one fault window per `every` ops:
+// "none" (an empty baseline schedule), "uniform", "correlated" (blast
+// of 2), "degraded" (8× device latency) and "partitioned".
+func ForClass(name string, ops, shards, every int) (*Campaign, error) {
+	switch name {
+	case "none":
+		return &Campaign{Name: "none"}, nil
+	case "uniform":
+		return Uniform(ops, shards, every), nil
+	case "correlated":
+		blast := 2
+		if shards < 2 {
+			blast = 1
+		}
+		return Correlated(ops, shards, every, blast), nil
+	case "degraded":
+		return Degraded(ops, shards, every, 8), nil
+	case "partitioned":
+		return Partitioned(ops, shards, every), nil
+	}
+	return nil, fmt.Errorf("faults: unknown campaign class %q (want none, uniform, correlated, degraded or partitioned)", name)
+}
+
+// Uniform is the legacy crash-churn knob as a campaign: every `every`
+// measured ops, one shard (rotating) crashes and recovers immediately.
+func Uniform(ops, shards, every int) *Campaign {
+	c := &Campaign{Name: "uniform"}
+	s := 0
+	for at := every; at < ops; at += every {
+		target := []int{s % shards}
+		c.Events = append(c.Events,
+			Event{At: at, Action: Crash, Shards: target},
+			Event{At: at, Action: Recover, Shards: target},
+		)
+		s++
+	}
+	return c
+}
+
+// Correlated crashes `blast` consecutive shards (rotating start) at one
+// instant every `every` ops and recovers them — in schedule order —
+// half a period later.
+func Correlated(ops, shards, every, blast int) *Campaign {
+	if blast > shards {
+		blast = shards
+	}
+	c := &Campaign{Name: "correlated"}
+	s := 0
+	for at := every; at < ops; at += every {
+		targets := make([]int, blast)
+		for i := range targets {
+			targets[i] = (s + i) % shards
+		}
+		c.Events = append(c.Events,
+			Event{At: at, Action: Crash, Shards: targets},
+			Event{At: at + every/2, Action: Recover, Shards: targets},
+		)
+		s++
+	}
+	return c
+}
+
+// Degraded slows one device (rotating) to factor× for half of every
+// `every`-op period, then restores it.
+func Degraded(ops, shards, every int, factor float64) *Campaign {
+	c := &Campaign{Name: "degraded"}
+	s := 0
+	for at := every; at < ops; at += every {
+		target := []int{s % shards}
+		c.Events = append(c.Events,
+			Event{At: at, Action: Degrade, Shards: target, Factor: factor},
+			Event{At: at + every/2, Action: Degrade, Shards: target, Factor: 1},
+		)
+		s++
+	}
+	return c
+}
+
+// Partitioned cuts one shard (rotating) off the fabric for half of
+// every `every`-op period, then heals it.
+func Partitioned(ops, shards, every int) *Campaign {
+	c := &Campaign{Name: "partitioned"}
+	s := 0
+	for at := every; at < ops; at += every {
+		target := []int{s % shards}
+		c.Events = append(c.Events,
+			Event{At: at, Action: Partition, Shards: target},
+			Event{At: at + every/2, Action: Heal, Shards: target},
+		)
+		s++
+	}
+	return c
+}

@@ -1,0 +1,324 @@
+package faults_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cxl0/internal/core"
+	"cxl0/internal/faults"
+	"cxl0/internal/kv"
+	"cxl0/internal/obs"
+)
+
+func open(t *testing.T, shards int) *kv.Store {
+	t.Helper()
+	st, err := kv.Open(kv.Config{Shards: shards, Strategy: kv.GroupCommit, Batch: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// tolerate is the workload loop's stance: a fault-window denial is
+// expected, anything else is a test failure.
+func tolerate(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var partial *kv.PartialResultError
+	if errors.As(err, &partial) || errors.Is(err, kv.ErrUnavailable) || errors.Is(err, kv.ErrShardDown) {
+		return
+	}
+	t.Fatalf("unexpected op error: %v", err)
+}
+
+func TestForClassShapes(t *testing.T) {
+	for _, class := range []string{"none", "uniform", "correlated", "degraded", "partitioned"} {
+		c, err := faults.ForClass(class, 400, 4, 100)
+		if err != nil {
+			t.Fatalf("ForClass(%s): %v", class, err)
+		}
+		if c.Name != class {
+			t.Fatalf("ForClass(%s) named %q", class, c.Name)
+		}
+		if class == "none" {
+			if len(c.Events) != 0 {
+				t.Fatalf("none campaign has %d events", len(c.Events))
+			}
+			continue
+		}
+		// Windows at 100, 200, 300: two events each (inject + restore).
+		if len(c.Events) != 6 {
+			t.Fatalf("%s campaign has %d events, want 6", class, len(c.Events))
+		}
+	}
+	if _, err := faults.ForClass("meteor", 400, 4, 100); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	// Blast clamps to the shard count on tiny fleets.
+	c, err := faults.ForClass("correlated", 200, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range c.Events {
+		if len(ev.Shards) != 1 {
+			t.Fatalf("1-shard correlated blast targets %v", ev.Shards)
+		}
+	}
+}
+
+func TestCorrelatedBlastCrashesTogether(t *testing.T) {
+	st := open(t, 4)
+	c := faults.Correlated(200, 4, 50, 2)
+	eng := faults.New(st, c)
+	sawDown := false
+	for i := 0; i < 200; i++ {
+		if err := eng.Step(i); err != nil {
+			t.Fatal(err)
+		}
+		if i == 50 {
+			// The whole blast radius fell at one instant.
+			if !eng.Down(0) || !eng.Down(1) {
+				t.Fatalf("blast {0,1} not down at op 50: %v %v", eng.Down(0), eng.Down(1))
+			}
+			h := st.Health()
+			if !h[0].Down || !h[1].Down || h[2].Down || h[3].Down {
+				t.Fatalf("health disagrees with blast: %+v", h)
+			}
+			sawDown = true
+		}
+		if i == 80 && (eng.Down(0) || eng.Down(1)) {
+			t.Fatal("blast not recovered half a period later")
+		}
+		_, err := st.Put(core.Val(i%40), core.Val(i+1))
+		tolerate(t, err)
+	}
+	if !sawDown {
+		t.Fatal("campaign never fired")
+	}
+	if err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	// Windows at 50, 100, 150 × blast 2.
+	if s.Crashes != 6 || s.Recoveries != 6 {
+		t.Fatalf("crashes=%d recoveries=%d, want 6/6", s.Crashes, s.Recoveries)
+	}
+	if len(s.OutageNS) != 6 || len(s.RecoveryNS) != 6 {
+		t.Fatalf("outage/recovery samples %d/%d, want 6/6", len(s.OutageNS), len(s.RecoveryNS))
+	}
+	for _, o := range s.OutageNS {
+		if o <= 0 {
+			t.Fatalf("non-positive outage window %g", o)
+		}
+	}
+}
+
+func TestPartitionDeniesButLosesNothing(t *testing.T) {
+	st := open(t, 2)
+	for k := 0; k < 20; k++ {
+		if _, err := st.Put(core.Val(k), core.Val(k+100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	eng := faults.New(st, &faults.Campaign{Name: "p", Events: []faults.Event{
+		{At: 1, Action: faults.Partition, Shards: []int{0}},
+		{At: 2, Action: faults.Heal, Shards: []int{0}},
+	}})
+	if err := eng.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	denied := 0
+	for k := 0; k < 20; k++ {
+		_, _, err := st.Get(core.Val(k))
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, kv.ErrUnavailable) {
+			t.Fatalf("partitioned get failed with %v, want ErrUnavailable", err)
+		}
+		if errors.Is(err, kv.ErrShardDown) {
+			t.Fatal("partition must not masquerade as a crash")
+		}
+		denied++
+	}
+	if denied == 0 {
+		t.Fatal("no op was denied by the partition")
+	}
+	if err := eng.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	// Heal is instant and lossless: every key reads back, no recovery.
+	for k := 0; k < 20; k++ {
+		v, ok, err := st.Get(core.Val(k))
+		if err != nil || !ok || v != core.Val(k+100) {
+			t.Fatalf("post-heal get(%d) = %v %v %v", k, v, ok, err)
+		}
+	}
+	s := eng.Stats()
+	if s.Partitions != 1 || s.Heals != 1 || s.Recoveries != 0 || s.RecordsLost != 0 {
+		t.Fatalf("partition stats %+v", s)
+	}
+	if len(s.PartitionNS) != 1 || s.PartitionNS[0] <= 0 {
+		t.Fatalf("partition window samples %v", s.PartitionNS)
+	}
+}
+
+func TestDegradeIsCostOnly(t *testing.T) {
+	st := open(t, 2)
+	eng := faults.New(st, &faults.Campaign{Name: "d", Events: []faults.Event{
+		{At: 1, Action: faults.Degrade, Shards: []int{1}, Factor: 8},
+		{At: 2, Action: faults.Degrade, Shards: []int{1}, Factor: 1},
+	}})
+	if err := eng.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if f := st.Health()[1].DegradeFactor; f != 8 {
+		t.Fatalf("degrade factor %g, want 8", f)
+	}
+	// Degraded ops succeed — slow is not down.
+	for k := 0; k < 10; k++ {
+		if _, err := st.Put(core.Val(k), core.Val(k+1)); err != nil {
+			t.Fatalf("degraded put failed: %v", err)
+		}
+	}
+	if err := eng.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if f := st.Health()[1].DegradeFactor; f != 1 {
+		t.Fatalf("restore left factor %g", f)
+	}
+	if s := eng.Stats(); s.Degrades != 2 || s.Crashes != 0 || s.Skipped != 0 {
+		t.Fatalf("degrade stats %+v", s)
+	}
+}
+
+func TestSkippedInjectionsNeverDoubleApply(t *testing.T) {
+	st := open(t, 2)
+	eng := faults.New(st, &faults.Campaign{Name: "dup", Events: []faults.Event{
+		{At: 1, Action: faults.Crash, Shards: []int{0}},
+		{At: 2, Action: faults.Crash, Shards: []int{0}}, // down: skip
+		{At: 3, Action: faults.Partition, Shards: []int{1}},
+		{At: 4, Action: faults.Partition, Shards: []int{1}}, // partitioned: skip
+		{At: 5, Action: faults.Partition, Shards: []int{0}}, // down: skip
+		{At: 6, Action: faults.Heal, Shards: []int{0}},      // not partitioned: skip
+		{At: 7, Action: faults.Recover, Shards: []int{1}},   // not down: skip
+	}})
+	if err := eng.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Crashes != 1 || s.Partitions != 1 || s.Skipped != 5 {
+		t.Fatalf("crashes=%d partitions=%d skipped=%d, want 1/1/5", s.Crashes, s.Partitions, s.Skipped)
+	}
+	if err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range st.Health() {
+		if h.Down || h.Partitioned {
+			t.Fatalf("shard %d still impaired after Finish: %+v", i, h)
+		}
+	}
+}
+
+func TestRecoverHealsPartitionFirst(t *testing.T) {
+	st := open(t, 4)
+	eng := faults.New(st, &faults.Campaign{Name: "ph", Events: []faults.Event{
+		// Same tick, schedule order: the shard is cut off, then its
+		// machine dies behind the partition.
+		{At: 1, Action: faults.Partition, Shards: []int{2}},
+		{At: 1, Action: faults.Crash, Shards: []int{2}},
+		{At: 2, Action: faults.Recover, Shards: []int{2}},
+	}})
+	if err := eng.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	h := st.Health()[2]
+	if !h.Down || !h.Partitioned {
+		t.Fatalf("shard 2 should be down AND partitioned: %+v", h)
+	}
+	// Recovery needs the fabric: the engine heals before recovering.
+	if err := eng.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	h = st.Health()[2]
+	if h.Down || h.Partitioned {
+		t.Fatalf("shard 2 still impaired after recover: %+v", h)
+	}
+	s := eng.Stats()
+	if s.Heals != 1 || s.Recoveries != 1 || s.Crashes != 1 || s.Partitions != 1 {
+		t.Fatalf("heal-then-recover stats %+v", s)
+	}
+}
+
+// TestObservedCampaignBitIdentical is the acceptance invariant: running
+// the same campaign with an observability recorder attached must leave
+// the simulated clock, the data, and the campaign measurements
+// bit-identical to the unobserved run.
+func TestObservedCampaignBitIdentical(t *testing.T) {
+	run := func(observe bool) (float64, faults.Stats, []core.Val) {
+		st := open(t, 4)
+		if observe {
+			st.Observe(obs.NewRecorder(obs.NewBus(obs.DefaultBusSize), obs.NewStats()))
+		}
+		c, err := faults.ForClass("correlated", 240, 4, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := faults.New(st, c)
+		for i := 0; i < 240; i++ {
+			if err := eng.Step(i); err != nil {
+				t.Fatal(err)
+			}
+			_, err := st.Put(core.Val(i%48), core.Val(i+1))
+			tolerate(t, err)
+		}
+		if err := eng.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		var vals []core.Val
+		for k := 0; k < 48; k++ {
+			v, _, err := st.Get(core.Val(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, v)
+		}
+		return st.NowNS(), eng.Stats(), vals
+	}
+	nowA, statsA, valsA := run(false)
+	nowB, statsB, valsB := run(true)
+	if nowA != nowB {
+		t.Fatalf("observed clock diverged: %g vs %g", nowA, nowB)
+	}
+	if !reflect.DeepEqual(statsA, statsB) {
+		t.Fatalf("observed campaign stats diverged:\n%+v\n%+v", statsA, statsB)
+	}
+	if !reflect.DeepEqual(valsA, valsB) {
+		t.Fatal("observed data diverged")
+	}
+}
+
+func TestPercentileNS(t *testing.T) {
+	xs := []float64{30, 10, 20, 40}
+	if p := faults.PercentileNS(xs, 50); p != 20 {
+		t.Fatalf("p50 = %g, want 20", p)
+	}
+	if p := faults.PercentileNS(xs, 95); p != 40 {
+		t.Fatalf("p95 = %g, want 40", p)
+	}
+	if p := faults.PercentileNS(nil, 95); p != 0 {
+		t.Fatalf("empty p95 = %g, want 0", p)
+	}
+	if got := xs[0]; got != 30 {
+		t.Fatal("PercentileNS mutated its input")
+	}
+}

@@ -204,6 +204,9 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 	if sh.down {
 		return stats, ErrShardDown
 	}
+	if sh.partitioned {
+		return stats, ErrUnavailable
+	}
 	if len(sh.log) == 0 {
 		return stats, nil
 	}

@@ -67,6 +67,24 @@ type DB interface {
 	// Recover restarts shard i after a crash, per the recovery procedure
 	// of the package documentation.
 	Recover(i int) (RecoveryStats, error)
+	// Partition cuts shard i's machine off the fabric: operations routed
+	// to it return ErrUnavailable (fan-out reads degrade to partial
+	// results instead; see PartialResultError) until Heal. Unlike Crash
+	// nothing is lost — no recovery follows a heal. While any shard of a
+	// cluster is partitioned, that cluster's GPF-based commit strategies
+	// (GPFEach, GroupCommit) cannot commit at all: a global flush must
+	// drain every cache, so writes fail cluster-wide with ErrUnavailable.
+	Partition(i int)
+	// Heal reconnects a partitioned shard to the fabric, restoring
+	// service immediately.
+	Heal(i int)
+	// Degrade sets shard i's device latency multiplier: every operation
+	// served by the shard's memory charges factor× the modeled cost
+	// (factor 1 restores full speed; values below 1 clamp to 1).
+	// Degradation is pure cost — results and durability are unaffected.
+	Degrade(i int, factor float64)
+	// Health reports each shard's fault state in global shard order.
+	Health() []ShardHealth
 	// Rebalance runs one load-aware rebalance check (shard-map bucket
 	// migration within each cluster; see docs/rebalancing.md).
 	Rebalance() ([]MigrationStats, error)
@@ -175,6 +193,46 @@ func (e *ShardFullError) Error() string {
 
 // Unwrap keeps errors.Is(err, ErrShardFull) working.
 func (e *ShardFullError) Unwrap() error { return ErrShardFull }
+
+// ShardHealth is one shard's fault state, as reported by DB.Health.
+type ShardHealth struct {
+	// Shard is the shard's index (global under a pooled router).
+	Shard int `json:"shard"`
+	// Down reports a crashed, not-yet-recovered shard machine.
+	Down bool `json:"down"`
+	// Partitioned reports a shard machine cut off by a fabric partition.
+	Partitioned bool `json:"partitioned"`
+	// DegradeFactor is the shard device's latency multiplier (1 = full
+	// speed).
+	DegradeFactor float64 `json:"degrade_factor"`
+}
+
+// PartialResultError is the typed partial-result error of the fan-out
+// reads: MultiGet and Scan return the reachable shards' results together
+// with this error when one or more shards were unreachable behind a
+// fabric partition. errors.Is(err, ErrUnavailable) matches it. The crash
+// path is deliberately different: a down shard holding relevant keys
+// still fails the whole call with ErrShardDown, because a crash may have
+// destroyed unacknowledged records — partial semantics are only safe when
+// the missing data is known intact, which a partition guarantees.
+type PartialResultError struct {
+	// Op names the degraded operation ("multiget" or "scan").
+	Op string
+	// Unavailable lists the unreachable shards the call skipped, in
+	// ascending order (global indices under a pooled router).
+	Unavailable []int
+	// Missing counts what the skipped shards withheld: keys routed to
+	// them (multiget) or in-range live index entries (scan).
+	Missing int
+}
+
+func (e *PartialResultError) Error() string {
+	return fmt.Sprintf("%v: %s degraded to a partial result: %d entr(ies) on unreachable shard(s) %v",
+		ErrUnavailable, e.Op, e.Missing, e.Unavailable)
+}
+
+// Unwrap keeps errors.Is(err, ErrUnavailable) working.
+func (e *PartialResultError) Unwrap() error { return ErrUnavailable }
 
 // Store implements the full DB surface.
 var _ DB = (*Store)(nil)

@@ -148,6 +148,15 @@ import (
 // has not been recovered yet.
 var ErrShardDown = errors.New("kv: shard machine is down")
 
+// ErrUnavailable is returned for operations routed to a shard whose
+// machine is cut off by a fabric partition. Distinct from ErrShardDown:
+// the shard's memory, caches and log are intact — nothing was lost and no
+// recovery is needed — the fabric just cannot reach it until Heal. Reads
+// that fan out over shards (MultiGet, Scan) degrade gracefully instead:
+// they return the reachable shards' results plus a *PartialResultError
+// (which unwraps to this sentinel) naming the unreachable shards.
+var ErrUnavailable = errors.New("kv: shard unreachable (fabric partition)")
+
 // ErrShardFull is returned when a shard's log region is exhausted. With
 // Config.CompactAtFill set the store compacts instead, and the error is
 // only raised when the live record set itself exceeds the shard's

@@ -12,7 +12,11 @@
 //   - Sync as a universal commit point, and
 //   - crash/recovery visibility: an acknowledged write survives every
 //     shard of the service crashing and recovering; an unacknowledged
-//     write may be dropped, never corrupted.
+//     write may be dropped, never corrupted, and
+//   - fault-campaign visibility: the crash/partition/degrade error
+//     taxonomy (ErrShardDown vs ErrUnavailable vs cost-only), partial
+//     results for partitioned fan-outs, lossless heals, and
+//     old-or-new-never-garbage under correlated whole-service crashes.
 //
 // The suite deliberately avoids implementation-shaped assertions (shard
 // placement, exact commit counts, busy-time accounting): those belong to
@@ -25,6 +29,7 @@ import (
 	"testing"
 
 	"cxl0/internal/core"
+	"cxl0/internal/faults"
 	"cxl0/internal/kv"
 	"cxl0/internal/obs"
 )
@@ -42,6 +47,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("MultiGet", func(t *testing.T) { testMultiGet(t, f) })
 	t.Run("SyncCommits", func(t *testing.T) { testSyncCommits(t, f) })
 	t.Run("CrashRecoverVisibility", func(t *testing.T) { testCrashRecoverVisibility(t, f) })
+	t.Run("FaultCampaignVisibility", func(t *testing.T) { testFaultCampaignVisibility(t, f) })
 	t.Run("CompactVisibility", func(t *testing.T) { testCompactVisibility(t, f) })
 	t.Run("AutoCompactCapacity", func(t *testing.T) { testAutoCompactCapacity(t, f) })
 	t.Run("BadArguments", func(t *testing.T) { testBadArguments(t, f) })
@@ -327,6 +333,231 @@ func testCrashRecoverVisibility(t *testing.T, f Factory) {
 			// on a healthy service.
 			if _, err := db.Rebalance(); err != nil {
 				t.Fatalf("rebalance on healthy service: %v", err)
+			}
+		})
+	}
+}
+
+// testFaultCampaignVisibility pins the fault-campaign surface of the
+// contract: a partitioned shard denies with ErrUnavailable (never
+// ErrShardDown — a partition loses nothing), fan-outs over a partition
+// degrade to a PartialResultError whose delivered results are exact,
+// heals are instant and lossless, degradation is cost-only, and a
+// correlated crash of every shard — driven through the campaign engine —
+// resolves each key to old-or-new, never garbage.
+func testFaultCampaignVisibility(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := f(t, cfgFor(strat))
+			const n = 24
+			keys := make([]core.Val, n)
+			for k := core.Val(0); k < n; k++ {
+				if _, err := db.Put(k, 1000+k); err != nil {
+					t.Fatal(err)
+				}
+				keys[k] = k
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Partition a shard that owns at least one of the keys (the
+			// contract hides key placement, so probe).
+			target, missingDirect := -1, 0
+			denied := map[core.Val]bool{}
+			for sh := 0; sh < db.NumShards() && target < 0; sh++ {
+				db.Partition(sh)
+				for k := core.Val(0); k < n; k++ {
+					_, _, err := db.Get(k)
+					if err == nil {
+						continue
+					}
+					if !errors.Is(err, kv.ErrUnavailable) {
+						t.Fatalf("get through partition: %v, want ErrUnavailable", err)
+					}
+					if errors.Is(err, kv.ErrShardDown) {
+						t.Fatalf("partition masquerades as a crash: %v", err)
+					}
+					denied[k] = true
+					missingDirect++
+				}
+				if missingDirect > 0 {
+					target = sh
+				} else {
+					db.Heal(sh)
+				}
+			}
+			if target < 0 {
+				t.Fatalf("no shard owns any of %d keys", n)
+			}
+			h := db.Health()
+			if len(h) != db.NumShards() || !h[target].Partitioned || h[target].Down {
+				t.Fatalf("health does not report the partition: %+v", h[target])
+			}
+
+			// MultiGet degrades to a partial result: delivered entries are
+			// exact, the error names the unavailable shards and unwraps to
+			// ErrUnavailable.
+			res, err := db.MultiGet(keys)
+			var partial *kv.PartialResultError
+			if !errors.As(err, &partial) {
+				t.Fatalf("partitioned MultiGet: %v, want PartialResultError", err)
+			}
+			if !errors.Is(err, kv.ErrUnavailable) {
+				t.Fatalf("PartialResultError must unwrap to ErrUnavailable: %v", err)
+			}
+			if partial.Missing != missingDirect {
+				t.Fatalf("partial reports %d missing, direct probes found %d", partial.Missing, missingDirect)
+			}
+			// Input order is preserved: unavailable keys hold a not-found
+			// placeholder, delivered entries are exact.
+			if len(res) != n {
+				t.Fatalf("partial MultiGet delivered %d results, want %d (placeholders included)", len(res), n)
+			}
+			for i, l := range res {
+				if l.Key != keys[i] {
+					t.Fatalf("partial result %d is key %d, want %d: input order must survive a partition", i, l.Key, keys[i])
+				}
+				if denied[l.Key] {
+					if l.Found {
+						t.Fatalf("unavailable key %d delivered as found: %+v", l.Key, l)
+					}
+					continue
+				}
+				if !l.Found || l.Val != 1000+l.Key {
+					t.Fatalf("partial result corrupted: %+v", l)
+				}
+			}
+			if len(partial.Unavailable) == 0 {
+				t.Fatal("partial error names no unavailable shard")
+			}
+			for i, sh := range partial.Unavailable {
+				if sh < 0 || sh >= db.NumShards() {
+					t.Fatalf("unavailable shard %d outside [0,%d)", sh, db.NumShards())
+				}
+				if i > 0 && partial.Unavailable[i-1] >= sh {
+					t.Fatalf("unavailable list not ascending: %v", partial.Unavailable)
+				}
+			}
+
+			// Scan over the partition: same taxonomy, delivered pairs exact
+			// and in order.
+			pairs, err := db.Scan(0, n, 0)
+			if !errors.As(err, &partial) {
+				t.Fatalf("partitioned Scan: %v, want PartialResultError", err)
+			}
+			if partial.Missing != missingDirect {
+				t.Fatalf("scan partial reports %d missing, want %d", partial.Missing, missingDirect)
+			}
+			if len(pairs) != n-missingDirect {
+				t.Fatalf("partial Scan delivered %d pairs, want %d", len(pairs), n-missingDirect)
+			}
+			for i, p := range pairs {
+				if p.Val != 1000+p.Key {
+					t.Fatalf("partial scan pair corrupted: %+v", p)
+				}
+				if i > 0 && pairs[i-1].Key >= p.Key {
+					t.Fatalf("partial scan out of order at %d: %v", i, pairs[i-1:i+1])
+				}
+			}
+
+			// Recover of an up-but-partitioned shard stays the up-shard
+			// no-op; but a shard that dies BEHIND its partition cannot
+			// recover until the fabric heals — partition-heal-then-recover
+			// is the only order.
+			if stats, err := db.Recover(target); err != nil || stats.Recovered != 0 {
+				t.Fatalf("recover of an up partitioned shard: %+v, %v, want no-op", stats, err)
+			}
+			db.Crash(target)
+			if _, err := db.Recover(target); !errors.Is(err, kv.ErrUnavailable) {
+				t.Fatalf("recover of a crashed shard behind a partition: %v, want ErrUnavailable", err)
+			}
+			db.Heal(target)
+			if _, err := db.Recover(target); err != nil {
+				t.Fatalf("recover after heal: %v", err)
+			}
+			if h := db.Health()[target]; h.Partitioned {
+				t.Fatalf("heal did not clear the partition: %+v", h)
+			}
+			res, err = db.MultiGet(keys)
+			if err != nil || len(res) != n {
+				t.Fatalf("post-heal MultiGet: %d results, %v", len(res), err)
+			}
+			for _, l := range res {
+				if !l.Found || l.Val != 1000+l.Key {
+					t.Fatalf("post-heal result wrong: %+v — a heal must lose nothing", l)
+				}
+			}
+
+			// Degradation is cost-only: reported in health, never an error.
+			db.Degrade(target, 8)
+			if got := db.Health()[target].DegradeFactor; got != 8 {
+				t.Fatalf("degrade factor %g, want 8", got)
+			}
+			for k := core.Val(0); k < n; k++ {
+				if v, ok, err := db.Get(k); err != nil || !ok || v != 1000+k {
+					t.Fatalf("degraded get %d = (%d, %v, %v)", k, v, ok, err)
+				}
+			}
+			db.Degrade(target, 1)
+
+			// Correlated whole-service crash, driven through the campaign
+			// engine: overwrite a few keys (some unacknowledged under the
+			// batched strategies), blast every shard at one instant, recover
+			// in campaign order.
+			ackedNew := map[core.Val]bool{}
+			for k := core.Val(0); k < 6; k++ {
+				ack, err := db.Put(k, 2000+k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ackedNew[k] = ack.Durable
+			}
+			all := make([]int, db.NumShards())
+			for i := range all {
+				all[i] = i
+			}
+			eng := faults.New(db, &faults.Campaign{Name: "conformance", Events: []faults.Event{
+				{At: 0, Action: faults.Crash, Shards: all},
+				{At: 1, Action: faults.Recover, Shards: all},
+			}})
+			if err := eng.Step(0); err != nil {
+				t.Fatal(err)
+			}
+			// Crashed is not partitioned: fan-outs fail whole (unacked data
+			// may be lost — a partial answer could be wrong), with
+			// ErrShardDown.
+			if _, err := db.MultiGet(keys); !errors.Is(err, kv.ErrShardDown) {
+				t.Fatalf("MultiGet over a crashed service: %v, want ErrShardDown", err)
+			} else if errors.As(err, &partial) {
+				t.Fatalf("crash produced a partial result: %v — only partitions degrade", err)
+			}
+			if err := eng.Step(1); err != nil {
+				t.Fatal(err)
+			}
+			if s := eng.Stats(); s.Crashes != len(all) || s.Recoveries != len(all) {
+				t.Fatalf("engine stats %+v, want %d crashes and recoveries", s, len(all))
+			}
+			for k := core.Val(0); k < n; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok {
+					t.Fatalf("key %d unreadable after correlated crash: (%v, %v)", k, ok, err)
+				}
+				old, new := 1000+k, 2000+k
+				switch {
+				case k >= 6:
+					if v != old {
+						t.Fatalf("untouched key %d = %d, want %d", k, v, old)
+					}
+				case ackedNew[k]:
+					if v != new {
+						t.Fatalf("key %d acked at %d but reads %d", k, new, v)
+					}
+				default:
+					if v != old && v != new {
+						t.Fatalf("key %d corrupted: %d (want %d or %d)", k, v, old, new)
+					}
+				}
 			}
 		})
 	}

@@ -167,6 +167,9 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	if src.down || dst.down {
 		return stats, ErrShardDown
 	}
+	if src.partitioned || dst.partitioned {
+		return stats, ErrUnavailable
+	}
 	startNS := s.cluster.NowNS()
 
 	// Phase 1: copy. Commit both shards first so every record to copy is
@@ -386,8 +389,8 @@ func (s *Store) reindexBucket(dst *shard, b int) {
 // exceeds Config.RebalanceThreshold × the mean, migrates its hottest
 // buckets to the least-loaded shard — skipping moves that would merely
 // relocate the hotspot. It returns the migrations performed; an empty
-// slice means the service is balanced (or a shard is down, in which case
-// rebalancing waits for recovery). Call it periodically from the serving
+// slice means the service is balanced (or a shard is down or partitioned,
+// in which case rebalancing waits for recovery or a heal). Call it periodically from the serving
 // loop; each call also starts a fresh measurement window.
 func (s *Store) Rebalance() ([]MigrationStats, error) {
 	s.mu.Lock()
@@ -408,7 +411,7 @@ func (s *Store) rebalanceLocked() ([]MigrationStats, error) {
 		return nil, nil
 	}
 	for _, sh := range s.shards {
-		if sh.down {
+		if sh.down || sh.partitioned {
 			return nil, nil
 		}
 	}

@@ -878,6 +878,315 @@ func TestAutoCompactCrashChurnProperty(t *testing.T) {
 	}
 }
 
+// testFaultCampaign extends the prefix-state model to campaign faults:
+// random operation streams interleaved with fabric partitions (ops
+// denied with ErrUnavailable, nothing lost on heal), device degradation
+// (cost-only — crashes land while degraded), and correlated whole-blast
+// crashes of every shard at one instant, recovered in campaign order
+// with partition-heal-then-recover.
+func testFaultCampaign(t *testing.T, strat Strategy, variant core.Variant) {
+	const maxKey = 12
+	f := func(seed int64, opsRaw []byte) bool {
+		st, err := Open(Config{
+			Shards:     2,
+			Capacity:   256,
+			Strategy:   strat,
+			Batch:      3,
+			Variant:    variant,
+			EvictEvery: 2,
+			Seed:       seed,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		logs := make([][]modelOp, st.NumShards())
+		part := make([]bool, st.NumShards())
+		anyPart := func() bool { return part[0] || part[1] }
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		// mutate applies one put/delete and folds the outcome into the
+		// model. A write to a partitioned shard is denied outright; a
+		// write to a healthy shard can still fail with ErrUnavailable
+		// when a REMOTE partition blocks the commit (the GPF blast
+		// radius) — then batched strategies have already appended the
+		// visible, uncommitted record, while per-operation strategies
+		// failed before any mutation.
+		mutate := func(i int, k, v core.Val) bool {
+			shard := st.ShardOf(k)
+			var err error
+			if v == 0 {
+				_, err = st.Delete(k)
+			} else {
+				_, err = st.Put(k, v)
+			}
+			switch {
+			case part[shard]:
+				if !errors.Is(err, ErrUnavailable) {
+					t.Logf("op %d: write to partitioned shard %d: %v, want ErrUnavailable", i, shard, err)
+					return false
+				}
+			case err == nil:
+				logs[shard] = append(logs[shard], modelOp{k, v})
+			case errors.Is(err, ErrUnavailable) && anyPart():
+				if !strat.Durable() {
+					logs[shard] = append(logs[shard], modelOp{k, v})
+				}
+			default:
+				t.Logf("op %d: write(%d): %v", i, k, err)
+				return false
+			}
+			return true
+		}
+		for i, b := range opsRaw {
+			if i > 60 {
+				break
+			}
+			k := core.Val(int(b) % (maxKey + 1))
+			shard := st.ShardOf(k)
+			switch (b / 16) % 6 {
+			case 0, 1:
+				if !mutate(i, k, core.Val(1+int(b)%90+i)) {
+					return false
+				}
+			case 2:
+				if !mutate(i, k, 0) {
+					return false
+				}
+			case 3:
+				// Reads: denied on the partitioned shard, exact on the
+				// others — visible state always matches the full model log.
+				v, ok, err := st.Get(k)
+				if part[shard] {
+					if !errors.Is(err, ErrUnavailable) {
+						t.Logf("op %d: get on partitioned shard %d: %v, want ErrUnavailable", i, shard, err)
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					t.Logf("op %d get(%d): %v", i, k, err)
+					return false
+				}
+				want := replay(logs[shard])
+				wv, wok := want[k]
+				if ok != wok || (ok && v != wv) {
+					t.Logf("op %d: get(%d) = (%d,%v), model (%d,%v)", i, k, v, ok, wv, wok)
+					return false
+				}
+			case 4:
+				target := rng.Intn(st.NumShards())
+				if rng.Intn(2) == 0 {
+					// Degradation is cost-only: it never changes outcomes,
+					// only the simulated clock — later crashes land while
+					// degraded.
+					st.Degrade(target, float64(1+rng.Intn(8)))
+					continue
+				}
+				if part[target] {
+					before := st.AckedCount(target)
+					st.Heal(target)
+					part[target] = false
+					// A heal is instant and lossless: acknowledged state is
+					// untouched and everything reads back.
+					if st.AckedCount(target) != before {
+						t.Logf("op %d: heal changed acked count %d -> %d", i, before, st.AckedCount(target))
+						return false
+					}
+					if !checkShard(t, st, target, replay(logs[target]), maxKey) {
+						t.Logf("op %d: shard %d state diverged after heal", i, target)
+						return false
+					}
+				} else {
+					st.Partition(target)
+					part[target] = true
+				}
+			default:
+				// Correlated blast: every shard crashes at one simulated
+				// instant — some possibly degraded, some possibly
+				// partitioned. Recovery refuses partitioned shards until
+				// they heal, then proceeds in campaign (index) order.
+				acked := make([]int, st.NumShards())
+				for sh := range acked {
+					acked[sh] = st.AckedCount(sh)
+				}
+				for sh := 0; sh < st.NumShards(); sh++ {
+					st.Crash(sh)
+				}
+				for sh := range part {
+					if !part[sh] {
+						continue
+					}
+					if _, err := st.Recover(sh); !errors.Is(err, ErrUnavailable) {
+						t.Logf("op %d: recover of partitioned shard %d: %v, want ErrUnavailable", i, sh, err)
+						return false
+					}
+					st.Heal(sh)
+					part[sh] = false
+				}
+				for sh := 0; sh < st.NumShards(); sh++ {
+					stats, err := st.Recover(sh)
+					if err != nil {
+						t.Logf("op %d recover(%d): %v", i, sh, err)
+						return false
+					}
+					if stats.Recovered < acked[sh] {
+						t.Logf("op %d: shard %d recovered %d records, %d were acknowledged",
+							i, sh, stats.Recovered, acked[sh])
+						return false
+					}
+					if stats.Recovered > len(logs[sh]) {
+						t.Logf("op %d: shard %d recovered %d records, only %d ever appended",
+							i, sh, stats.Recovered, len(logs[sh]))
+						return false
+					}
+					logs[sh] = logs[sh][:stats.Recovered]
+				}
+				for sh := range logs {
+					if !checkShard(t, st, sh, replay(logs[sh]), maxKey) {
+						t.Logf("op %d: shard %d state diverged after correlated recovery", i, sh)
+						return false
+					}
+				}
+			}
+		}
+		// Final: heal lingering partitions, sync, exact match everywhere.
+		for sh := range part {
+			if part[sh] {
+				st.Heal(sh)
+				part[sh] = false
+			}
+		}
+		if err := st.Sync(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := range logs {
+			if st.AckedCount(i) != len(logs[i]) {
+				t.Logf("shard %d: %d acked after Sync, %d appended", i, st.AckedCount(i), len(logs[i]))
+				return false
+			}
+			if !checkShard(t, st, i, replay(logs[i]), maxKey) {
+				t.Logf("shard %d final state diverged", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(int64(strat)*41 + int64(variant)))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultCampaignProperty sweeps the campaign-extended prefix-state
+// model across all six persistence strategies and all three hardware
+// variants.
+func TestFaultCampaignProperty(t *testing.T) {
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		for _, strat := range Strategies {
+			t.Run(fmt.Sprintf("%v/%v", variant, strat), func(t *testing.T) {
+				testFaultCampaign(t, strat, variant)
+			})
+		}
+	}
+}
+
+// testApplyCorrelatedCrash crashes BOTH shards at one simulated instant
+// in the middle of a client batch Apply: the batch must resolve per key
+// to old-or-new (never garbage, never a torn value), the pre-batch
+// acknowledged state must survive untouched, and re-applying the batch
+// afterwards must complete it.
+func testApplyCorrelatedCrash(t *testing.T, strat Strategy, variant core.Variant, at int) {
+	const maxKey = 20
+	st, err := Open(Config{
+		Shards:     2,
+		Capacity:   256,
+		Strategy:   strat,
+		Batch:      3,
+		Variant:    variant,
+		EvictEvery: 2,
+		Seed:       int64(strat)*100 + int64(variant)*10 + int64(at),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := core.Val(0); k <= maxKey; k++ {
+		if _, err := st.Put(k, 100+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := &Batch{}
+	for k := core.Val(0); k <= maxKey; k += 2 {
+		b.Put(k, 300+k)
+	}
+	fired := false
+	st.applyHook = func(i int) {
+		if i != at || fired {
+			return
+		}
+		fired = true
+		// The whole blast radius at one instant, mid-batch.
+		st.crashLocked(0)
+		st.crashLocked(1)
+	}
+	_, applyErr := st.Apply(b)
+	st.applyHook = nil
+	if !fired {
+		t.Fatalf("apply hook never fired at op %d", at)
+	}
+	if !errors.Is(applyErr, ErrShardDown) {
+		t.Fatalf("mid-batch correlated crash: Apply returned %v, want ErrShardDown", applyErr)
+	}
+	for i := range st.shards {
+		if st.shards[i].down {
+			if _, err := st.Recover(i); err != nil {
+				t.Fatalf("recover shard %d: %v", i, err)
+			}
+		}
+	}
+	// Old-or-new per key: batch keys read 100+k or 300+k, others exactly
+	// 100+k.
+	for k := core.Val(0); k <= maxKey; k++ {
+		v, ok, err := st.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("get(%d) after correlated mid-batch crash: (%d,%v,%v)", k, v, ok, err)
+		}
+		if k%2 == 0 {
+			if v != 100+k && v != 300+k {
+				t.Fatalf("key %d = %d after crash, want old %d or new %d", k, v, 100+k, 300+k)
+			}
+		} else if v != 100+k {
+			t.Fatalf("non-batch key %d = %d, pre-batch acknowledged value %d destroyed", k, v, 100+k)
+		}
+	}
+	// The service completes the batch on retry.
+	if ack, err := st.Apply(b); err != nil || !ack.Durable {
+		t.Fatalf("re-apply after recovery: ack %+v err %v", ack, err)
+	}
+	for k := core.Val(0); k <= maxKey; k += 2 {
+		if v, ok, _ := st.Get(k); !ok || v != 300+k {
+			t.Fatalf("key %d = %d after re-apply, want %d", k, v, 300+k)
+		}
+	}
+}
+
+// TestApplyCorrelatedCrash sweeps the mid-Apply correlated double-crash
+// over early/mid/late batch positions for every strategy and variant.
+func TestApplyCorrelatedCrash(t *testing.T) {
+	for _, variant := range []core.Variant{core.Base, core.PSN, core.LWB} {
+		for _, strat := range Strategies {
+			for _, at := range []int{0, 4, 9} {
+				t.Run(fmt.Sprintf("%v/%v/at%d", variant, strat, at), func(t *testing.T) {
+					testApplyCorrelatedCrash(t, strat, variant, at)
+				})
+			}
+		}
+	}
+}
+
 // TestRecoveryAfterDoubleCrash exercises the log-truncation path: a crash
 // with unacknowledged pending writes, recovery, more writes reusing the
 // truncated slots, and a second crash — stale records from the first

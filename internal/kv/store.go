@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -101,7 +102,11 @@ type shard struct {
 	pending int    // batched records awaiting their batch's commit flush
 	batchE  uint64 // shard-machine crash epoch when the open batch began
 	down    bool
-	busyNS  float64 // simulated time this shard's operations consumed
+	// partitioned marks the shard's machine as cut off by a fabric
+	// partition: everything is intact but unreachable, so operations fail
+	// with ErrUnavailable (no recovery needed — Heal restores service).
+	partitioned bool
+	busyNS      float64 // simulated time this shard's operations consumed
 	// churnNS is the part of busyNS spent on crash recovery, bucket
 	// migration and log compaction — exogenous, one-off costs that say
 	// nothing about where traffic is placed. The placement-skew metric and
@@ -303,6 +308,10 @@ type Store struct {
 	// store lock held.
 	migrateHook func(step MigrateStep)
 	compactHook func(step CompactStep)
+	// applyHook, when set (tests only), is called before each batch op of
+	// an Apply with the op's index — the fault-campaign property tests
+	// inject correlated crashes mid-batch through it.
+	applyHook func(i int)
 
 	// rec, when set (Observe), receives typed events and latency samples
 	// for everything the store does. Instrumentation reads the simulated
@@ -582,6 +591,12 @@ func lstoreRecord(t *memsim.Thread, sh *shard, slot int, r rec) error {
 func (s *Store) gpf(sh *shard, t *memsim.Thread, churn bool) error {
 	start := s.cluster.NowNS()
 	if err := t.GPF(); err != nil {
+		if errors.Is(err, memsim.ErrUnreachable) {
+			// A GPF must drain every cache in the fabric, so one
+			// partitioned machine anywhere blocks commits cluster-wide —
+			// the blast radius the ranged strategies avoid.
+			return fmt.Errorf("%w: global persistent flush blocked: %v", ErrUnavailable, err)
+		}
 		return err
 	}
 	cost := s.cluster.NowNS() - start
@@ -619,6 +634,9 @@ func (s *Store) flushPending(sh *shard) error {
 	}
 	if sh.down {
 		return ErrShardDown
+	}
+	if sh.partitioned {
+		return ErrUnavailable
 	}
 	t := sh.thread()
 	fstart := s.cluster.NowNS()
@@ -704,6 +722,9 @@ func (s *Store) commitLocked(sh *shard) error {
 func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	if sh.down {
 		return Ack{}, ErrShardDown
+	}
+	if sh.partitioned {
+		return Ack{}, ErrUnavailable
 	}
 	// Auto-compaction runs before this append's span stamp: compactLocked
 	// charges its own time as churn, and charging it inside the append's
@@ -832,6 +853,9 @@ func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 	if sh.down {
 		return 0, false, ErrShardDown
 	}
+	if sh.partitioned {
+		return 0, false, ErrUnavailable
+	}
 	slot, ok := sh.index[key]
 	if !ok {
 		return 0, false, nil
@@ -851,7 +875,10 @@ func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 // one Lookup per key in input order. Each key pays the same simulated
 // read cost as a Get; the amortization is the routing (one traversal of
 // the service instead of one call per key). A key routed to a down shard
-// fails the whole call, like Get.
+// fails the whole call, like Get. Keys routed to a *partitioned* shard
+// degrade gracefully instead: their lookups come back Found == false and
+// the call returns the other keys' results together with a
+// *PartialResultError naming the unreachable shards.
 func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 	for _, k := range keys {
 		if k < 0 {
@@ -866,7 +893,16 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 		start = s.cluster.NowNS()
 	}
 	out := make([]Lookup, 0, len(keys))
+	unavailable := make([]bool, len(s.shards))
+	missing := 0
 	for _, k := range keys {
+		if sh := s.shards[s.shardOf(k)]; sh.partitioned && !sh.down {
+			s.gets++
+			unavailable[sh.id] = true
+			missing++
+			out = append(out, Lookup{Key: k})
+			continue
+		}
 		v, ok, err := s.getLocked(k)
 		if err != nil {
 			return nil, err
@@ -874,9 +910,24 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 		out = append(out, Lookup{Key: k, Val: v, Found: ok})
 	}
 	if s.rec != nil {
-		s.rec.OpSpan(obs.OpMultiGet, -1, start, s.cluster.NowNS(), len(out), 0, false)
+		s.rec.OpSpan(obs.OpMultiGet, -1, start, s.cluster.NowNS(), len(out)-missing, 0, false)
+	}
+	if missing > 0 {
+		return out, &PartialResultError{Op: "multiget", Unavailable: shardList(unavailable), Missing: missing}
 	}
 	return out, nil
+}
+
+// shardList converts a membership mask into the ascending index list a
+// PartialResultError carries.
+func shardList(mask []bool) []int {
+	var out []int
+	for i, hit := range mask {
+		if hit {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Apply applies the batch's puts and deletes in order, then commits every
@@ -917,7 +968,10 @@ func (s *Store) Apply(b *Batch) (Ack, error) {
 func (s *Store) applyLocked(b *Batch) (Ack, error) {
 	touched := make([]bool, len(s.shards))
 	var last Ack
-	for _, op := range b.ops {
+	for bi, op := range b.ops {
+		if s.applyHook != nil {
+			s.applyHook(bi)
+		}
 		val := op.Val
 		if op.IsDelete() {
 			s.deletes++
@@ -967,13 +1021,24 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 		sh   *shard
 	}
 	var cands []cand
+	unavailable := make([]bool, len(s.shards))
+	missing := 0
 	for _, sh := range s.shards {
 		for k, slot := range sh.index {
 			if k >= lo && k < hi {
 				// A down shard only fails the scan when it actually holds
-				// keys in range; an idle down shard costs nothing.
+				// keys in range; an idle down shard costs nothing. A
+				// partitioned shard degrades the scan to a partial result
+				// instead: its data is intact behind the partition, so
+				// skipping it is safe and the typed error says what is
+				// missing.
 				if sh.down {
 					return nil, ErrShardDown
+				}
+				if sh.partitioned {
+					unavailable[sh.id] = true
+					missing++
+					continue
 				}
 				cands = append(cands, cand{key: k, slot: slot, sh: sh})
 			}
@@ -998,6 +1063,9 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	s.scannedPairs += uint64(len(out))
 	if s.rec != nil {
 		s.rec.OpSpan(obs.OpScan, -1, sstart, s.cluster.NowNS(), len(out), 0, false)
+	}
+	if missing > 0 {
+		return out, &PartialResultError{Op: "scan", Unavailable: shardList(unavailable), Missing: missing}
 	}
 	return out, nil
 }
@@ -1038,6 +1106,73 @@ func (s *Store) crashLocked(i int) {
 	if s.rec != nil {
 		s.rec.Crash(i, s.cluster.NowNS())
 	}
+}
+
+// Partition cuts shard i's machine off the fabric. Operations routed to
+// the shard return ErrUnavailable (fan-out reads degrade to partial
+// results) until Heal; under the GPF-based strategies no shard of this
+// store can commit meanwhile, because a global flush must drain the
+// partitioned machine's cache too. Nothing is lost — caches, memory and
+// the log stay intact, so Heal restores service without recovery.
+func (s *Store) Partition(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shards[i]
+	sh.partitioned = true
+	s.cluster.Partition(sh.machine)
+	if s.rec != nil {
+		s.rec.Partition(i, s.cluster.NowNS())
+	}
+}
+
+// Heal reconnects shard i to the fabric, restoring service immediately.
+// A no-op for a shard that is not partitioned.
+func (s *Store) Heal(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shards[i]
+	if !sh.partitioned {
+		return
+	}
+	sh.partitioned = false
+	s.cluster.Heal(sh.machine)
+	if s.rec != nil {
+		s.rec.Heal(i, s.cluster.NowNS())
+	}
+}
+
+// Degrade sets shard i's device latency multiplier: every operation
+// served by the shard's memory charges factor× the modeled cost (factor
+// 1 restores full speed; below 1 clamps to 1). Pure cost, no semantic
+// effect — the shard keeps serving, just slower, and its busy time grows
+// accordingly.
+func (s *Store) Degrade(i int, factor float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shards[i]
+	s.cluster.Degrade(sh.machine, factor)
+	if s.rec != nil {
+		if factor < 1 {
+			factor = 1
+		}
+		s.rec.Degrade(i, factor, s.cluster.NowNS())
+	}
+}
+
+// Health reports each shard's fault state in shard order.
+func (s *Store) Health() []ShardHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardHealth, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardHealth{
+			Shard:         i,
+			Down:          sh.down,
+			Partitioned:   sh.partitioned,
+			DegradeFactor: s.cluster.DegradeFactor(sh.machine),
+		}
+	}
+	return out
 }
 
 // replayRecord applies one log record to an index under the move-marker
@@ -1092,6 +1227,9 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 	sh := s.shards[i]
 	if !sh.down {
 		return RecoveryStats{Shard: i}, nil
+	}
+	if sh.partitioned {
+		return RecoveryStats{}, fmt.Errorf("%w: shard %d cannot recover while partitioned; heal first", ErrUnavailable, i)
 	}
 	s.cluster.Recover(sh.machine)
 	if err := s.spawnThreads(sh); err != nil {

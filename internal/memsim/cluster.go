@@ -33,6 +33,14 @@ var ErrCrashed = errors.New("memsim: machine crashed; thread lost")
 // ErrOutOfMemory is returned when a machine's heap is exhausted.
 var ErrOutOfMemory = errors.New("memsim: machine heap exhausted")
 
+// ErrUnreachable is returned by thread operations that need the fabric to
+// reach a partitioned machine. Unlike ErrCrashed, the machine itself is
+// healthy: its caches and memory are intact, its threads stay valid, and
+// Heal restores service without any recovery procedure. A partitioned
+// machine is an isolated island — it can still operate on its own
+// locations, but no cross-machine access succeeds in either direction.
+var ErrUnreachable = errors.New("memsim: machine unreachable (fabric partition)")
+
 // MachineConfig describes one machine of a cluster.
 type MachineConfig struct {
 	Name string
@@ -66,6 +74,13 @@ type Cluster struct {
 	rng   *rand.Rand
 	alive []bool
 	epoch []uint64
+	// unreach marks machines cut off by a fabric partition: healthy but
+	// unreachable from every other machine (see ErrUnreachable). degrade
+	// holds per-machine latency multipliers (values < 1 read as 1): a
+	// degraded device charges factor× the modeled cost for every operation
+	// its memory serves, without any semantic effect.
+	unreach []bool
+	degrade []float64
 	// allocation state, per machine
 	heapBase []core.LocID
 	heapSize []int
@@ -101,6 +116,8 @@ func NewCluster(machines []MachineConfig, cfg Config) *Cluster {
 		}
 		c.alive = append(c.alive, true)
 		c.epoch = append(c.epoch, 0)
+		c.unreach = append(c.unreach, false)
+		c.degrade = append(c.degrade, 1)
 		c.hot = append(c.hot, map[core.LocID]bool{})
 	}
 	c.topo = topo
@@ -176,6 +193,85 @@ func (c *Cluster) Alive(m core.MachineID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.alive[m]
+}
+
+// Partition cuts machine m off the fabric: cross-machine operations
+// touching it fail with ErrUnreachable in either direction, and a global
+// persistent flush cannot complete anywhere while any machine is
+// partitioned. Unlike Crash nothing is lost — caches and memory stay
+// intact, the crash epoch does not advance, and existing threads remain
+// valid — so Heal restores service without a recovery procedure.
+func (c *Cluster) Partition(m core.MachineID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.unreach[m] = true
+	c.bumpStampLocked()
+}
+
+// Heal reconnects a partitioned machine to the fabric.
+func (c *Cluster) Heal(m core.MachineID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.unreach[m] = false
+	c.bumpStampLocked()
+}
+
+// Partitioned reports whether machine m is cut off the fabric.
+func (c *Cluster) Partitioned(m core.MachineID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.unreach[m]
+}
+
+// Degrade sets machine m's device latency multiplier: every operation
+// served by m's memory charges factor× the modeled cost. Factors below 1
+// are clamped to 1 (Degrade(m, 1) restores full speed). Degradation is
+// pure cost — it never changes what any operation returns or persists.
+func (c *Cluster) Degrade(m core.MachineID, factor float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if factor < 1 {
+		factor = 1
+	}
+	c.degrade[m] = factor
+	c.bumpStampLocked()
+}
+
+// DegradeFactor returns machine m's current device latency multiplier.
+func (c *Cluster) DegradeFactor(m core.MachineID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degrade[m]
+}
+
+// reachableLocked checks that a thread on issuer can operate on location
+// x: always, when issuer owns x (a partitioned machine keeps serving its
+// own island); otherwise both ends must be connected to the fabric.
+func (c *Cluster) reachableLocked(issuer core.MachineID, x core.LocID) error {
+	owner := c.topo.Owner(x)
+	if owner == issuer {
+		return nil
+	}
+	if c.unreach[issuer] {
+		return fmt.Errorf("%w: issuer %s is partitioned", ErrUnreachable, c.topo.MachineName(issuer))
+	}
+	if c.unreach[owner] {
+		return fmt.Errorf("%w: %s (owner of the target line) is partitioned", ErrUnreachable, c.topo.MachineName(owner))
+	}
+	return nil
+}
+
+// fabricWholeLocked checks that no machine is partitioned — the
+// precondition of a global persistent flush, whose drain must reach every
+// cache in the system.
+func (c *Cluster) fabricWholeLocked() error {
+	for m := range c.unreach {
+		if c.unreach[m] {
+			return fmt.Errorf("%w: %s is partitioned; global flush cannot drain it",
+				ErrUnreachable, c.topo.MachineName(core.MachineID(m)))
+		}
+	}
+	return nil
 }
 
 // Epoch returns machine m's crash epoch: the number of times it has
@@ -278,11 +374,32 @@ func (c *Cluster) NowNS() float64 {
 	return c.clockNS
 }
 
-func (c *Cluster) chargeLocked(op core.Op, local, cached bool) {
+// chargeLocked charges one primitive touching a line of device dev. A
+// degraded device multiplies the modeled cost: the operation still
+// succeeds, it just pays a realistic penalty for the slow medium.
+func (c *Cluster) chargeLocked(op core.Op, dev core.MachineID, local, cached bool) {
 	c.opStats[op]++
 	if c.cfg.Latency != nil {
-		c.clockNS += c.cfg.Latency.CXL0CostCached(op, local, cached)
+		c.clockNS += c.cfg.Latency.CXL0CostCached(op, local, cached) * c.degrade[dev]
 	}
+}
+
+// chargeGPFLocked charges one global persistent flush. The drain completes
+// only when the slowest participating device has written back, so the cost
+// scales with the maximum degradation factor across the cluster —
+// a single slow device gates every fabric-wide flush.
+func (c *Cluster) chargeGPFLocked() {
+	c.opStats[core.OpGPF]++
+	if c.cfg.Latency == nil {
+		return
+	}
+	worst := 1.0
+	for _, f := range c.degrade {
+		if f > worst {
+			worst = f
+		}
+	}
+	c.clockNS += c.cfg.Latency.CXL0CostCached(core.OpGPF, false, false) * worst
 }
 
 // chargeRangedFlushLocked charges one ranged persistent flush issued by
@@ -301,10 +418,12 @@ func (c *Cluster) chargeRangedFlushLocked(issuer core.MachineID, base core.LocID
 	}
 	// Charge devices in machine order: float64 addition is not
 	// associative, and map-iteration order would make the simulated clock
-	// nondeterministic for ranges spanning several owners.
+	// nondeterministic for ranges spanning several owners. Each device's
+	// portion scales with its own degradation factor — a slow device slows
+	// exactly its share of the range, not the whole fabric.
 	for dev := 0; dev < c.topo.NumMachines(); dev++ {
 		if lines := perDevice[core.MachineID(dev)]; lines > 0 {
-			c.clockNS += c.cfg.Latency.RFlushRangeCost(lines, core.MachineID(dev) == issuer)
+			c.clockNS += c.cfg.Latency.RFlushRangeCost(lines, core.MachineID(dev) == issuer) * c.degrade[dev]
 		}
 	}
 }

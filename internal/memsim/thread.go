@@ -33,6 +33,17 @@ func (t *Thread) checkAliveLocked() error {
 	return nil
 }
 
+// checkOpLocked gates one single-location primitive: the thread's machine
+// must be alive and the target line's owner reachable from it. The checks
+// run before any state mutation or cost charge, so a failed operation has
+// no effect at all — like an op rejected by a dead machine.
+func (t *Thread) checkOpLocked(x core.LocID) error {
+	if err := t.checkAliveLocked(); err != nil {
+		return err
+	}
+	return t.c.reachableLocked(t.m, x)
+}
+
 // applyLocked performs a deterministic labeled step, which must be enabled.
 func (t *Thread) applyLocked(l core.Label) {
 	if !core.ApplyInPlace(t.c.st, l, t.c.cfg.Variant) {
@@ -71,7 +82,7 @@ func (t *Thread) drainLocked(x core.LocID, all bool) {
 func (t *Thread) Load(x core.LocID) (core.Val, error) {
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if err := t.checkAliveLocked(); err != nil {
+	if err := t.checkOpLocked(x); err != nil {
 		return 0, err
 	}
 	cached := t.c.hotLocked(t.m, x)
@@ -90,7 +101,7 @@ func (t *Thread) Load(x core.LocID) (core.Val, error) {
 	}
 	t.applyLocked(core.LoadL(t.m, x, v))
 	t.c.warmLocked(t.m, x)
-	t.c.chargeLocked(core.OpLoad, t.Local(x), cached)
+	t.c.chargeLocked(core.OpLoad, t.c.topo.Owner(x), t.Local(x), cached)
 	t.c.maybeEvictLocked()
 	return v, nil
 }
@@ -101,7 +112,7 @@ func (t *Thread) store(op core.Op, x core.LocID, v core.Val) error {
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if err := t.checkAliveLocked(); err != nil {
+	if err := t.checkOpLocked(x); err != nil {
 		return err
 	}
 	t.applyLocked(core.Label{Op: op, M: t.m, Loc: x, Val: v})
@@ -116,7 +127,7 @@ func (t *Thread) store(op core.Op, x core.LocID, v core.Val) error {
 	case core.OpMStore:
 		t.c.coolAllLocked(x)
 	}
-	t.c.chargeLocked(op, t.Local(x), false)
+	t.c.chargeLocked(op, t.c.topo.Owner(x), t.Local(x), false)
 	t.c.maybeEvictLocked()
 	return nil
 }
@@ -137,13 +148,13 @@ func (t *Thread) MStore(x core.LocID, v core.Val) error { return t.store(core.Op
 func (t *Thread) LFlush(x core.LocID) error {
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if err := t.checkAliveLocked(); err != nil {
+	if err := t.checkOpLocked(x); err != nil {
 		return err
 	}
 	t.drainLocked(x, false)
 	t.applyLocked(core.LFlushL(t.m, x))
 	delete(t.c.hot[t.m], x)
-	t.c.chargeLocked(core.OpLFlush, t.Local(x), false)
+	t.c.chargeLocked(core.OpLFlush, t.c.topo.Owner(x), t.Local(x), false)
 	t.c.maybeEvictLocked()
 	return nil
 }
@@ -153,13 +164,13 @@ func (t *Thread) LFlush(x core.LocID) error {
 func (t *Thread) RFlush(x core.LocID) error {
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if err := t.checkAliveLocked(); err != nil {
+	if err := t.checkOpLocked(x); err != nil {
 		return err
 	}
 	t.drainLocked(x, true)
 	t.applyLocked(core.RFlushL(t.m, x))
 	t.c.coolAllLocked(x)
-	t.c.chargeLocked(core.OpRFlush, t.Local(x), false)
+	t.c.chargeLocked(core.OpRFlush, t.c.topo.Owner(x), t.Local(x), false)
 	t.c.maybeEvictLocked()
 	return nil
 }
@@ -184,6 +195,14 @@ func (t *Thread) RFlushRange(base core.LocID, n int) error {
 	if err := t.checkAliveLocked(); err != nil {
 		return err
 	}
+	// Every device owning part of the range participates in the flush, so
+	// each must be reachable; a partition anywhere in the range fails the
+	// whole primitive before anything drains.
+	for i := 0; i < n; i++ {
+		if err := t.c.reachableLocked(t.m, base+core.LocID(i)); err != nil {
+			return err
+		}
+	}
 	for i := 0; i < n; i++ {
 		t.drainLocked(base+core.LocID(i), true)
 	}
@@ -204,11 +223,16 @@ func (t *Thread) GPF() error {
 	if err := t.checkAliveLocked(); err != nil {
 		return err
 	}
+	// The drain must reach every cache in the system: one partitioned
+	// machine anywhere blocks the global flush entirely.
+	if err := t.c.fabricWholeLocked(); err != nil {
+		return err
+	}
 	for x := 0; x < t.c.topo.NumLocs(); x++ {
 		t.drainLocked(core.LocID(x), true)
 	}
 	t.applyLocked(core.GPFL(t.m))
-	t.c.chargeLocked(core.OpGPF, false, false)
+	t.c.chargeGPFLocked()
 	return nil
 }
 
@@ -239,7 +263,7 @@ func (t *Thread) CAS(op core.Op, x core.LocID, old, new core.Val) (bool, error) 
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if err := t.checkAliveLocked(); err != nil {
+	if err := t.checkOpLocked(x); err != nil {
 		return false, err
 	}
 	cached := t.c.hotLocked(t.m, x)
@@ -248,13 +272,13 @@ func (t *Thread) CAS(op core.Op, x core.LocID, old, new core.Val) (bool, error) 
 		// Failed RMW ≡ plain read (§3.3): the line is pulled like a load.
 		t.applyLocked(core.LoadL(t.m, x, cur))
 		t.c.warmLocked(t.m, x)
-		t.c.chargeLocked(core.OpLoad, t.Local(x), cached)
+		t.c.chargeLocked(core.OpLoad, t.c.topo.Owner(x), t.Local(x), cached)
 		t.c.maybeEvictLocked()
 		return false, nil
 	}
 	t.applyLocked(core.RMWL(op, t.m, x, old, new))
 	t.rmwHotLocked(op, x)
-	t.c.chargeLocked(op, t.Local(x), cached)
+	t.c.chargeLocked(op, t.c.topo.Owner(x), t.Local(x), cached)
 	t.c.maybeEvictLocked()
 	return true, nil
 }
@@ -267,7 +291,7 @@ func (t *Thread) FAA(op core.Op, x core.LocID, delta core.Val) (core.Val, error)
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if err := t.checkAliveLocked(); err != nil {
+	if err := t.checkOpLocked(x); err != nil {
 		return 0, err
 	}
 	cached := t.c.hotLocked(t.m, x)
@@ -277,7 +301,7 @@ func (t *Thread) FAA(op core.Op, x core.LocID, delta core.Val) (core.Val, error)
 	}
 	t.applyLocked(core.RMWL(op, t.m, x, cur, cur+delta))
 	t.rmwHotLocked(op, x)
-	t.c.chargeLocked(op, t.Local(x), cached)
+	t.c.chargeLocked(op, t.c.topo.Owner(x), t.Local(x), cached)
 	t.c.maybeEvictLocked()
 	return cur, nil
 }

@@ -60,12 +60,24 @@ const (
 	// KindRebalance is one load-aware rebalance decision, carrying the
 	// number of migrations it performed (possibly zero).
 	KindRebalance
+	// KindPartition is a shard machine cut off by a fabric partition
+	// (operations routed to it fail with kv.ErrUnavailable until the
+	// matching KindHeal).
+	KindPartition
+	// KindHeal is a partitioned shard machine reconnecting to the fabric.
+	// No recovery follows: nothing was lost.
+	KindHeal
+	// KindDegrade is a change of a shard device's latency multiplier,
+	// carrying the new factor in percent (N = 100 × factor; N == 100
+	// restores full speed).
+	KindDegrade
 
 	numKinds
 )
 
 var kindNames = [...]string{
 	"op", "commit", "migration", "compaction", "crash", "recover", "rebalance",
+	"partition", "heal", "degrade",
 }
 
 func (k Kind) String() string {

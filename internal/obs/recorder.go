@@ -172,6 +172,51 @@ func (r *Recorder) Crash(shard int, nowNS float64) {
 	r.publish(e)
 }
 
+// Partition records a shard machine cut off by a fabric partition.
+// Instantaneous and ack-free, like Crash.
+func (r *Recorder) Partition(shard int, nowNS float64) {
+	if r == nil {
+		return
+	}
+	if r.stats != nil {
+		r.stats.count(KindPartition)
+	}
+	e := r.base(KindPartition)
+	e.Shard = r.shard(shard)
+	e.StartNS, e.EndNS = nowNS, nowNS
+	r.publish(e)
+}
+
+// Heal records a partitioned shard machine reconnecting to the fabric.
+func (r *Recorder) Heal(shard int, nowNS float64) {
+	if r == nil {
+		return
+	}
+	if r.stats != nil {
+		r.stats.count(KindHeal)
+	}
+	e := r.base(KindHeal)
+	e.Shard = r.shard(shard)
+	e.StartNS, e.EndNS = nowNS, nowNS
+	r.publish(e)
+}
+
+// Degrade records a change of a shard device's latency multiplier; the
+// new factor rides N in percent (100 = full speed restored).
+func (r *Recorder) Degrade(shard int, factor float64, nowNS float64) {
+	if r == nil {
+		return
+	}
+	if r.stats != nil {
+		r.stats.count(KindDegrade)
+	}
+	e := r.base(KindDegrade)
+	e.Shard = r.shard(shard)
+	e.N = int(factor * 100)
+	e.StartNS, e.EndNS = nowNS, nowNS
+	r.publish(e)
+}
+
 // Recover records a completed shard recovery: recovered surviving log
 // records, salvaged client writes acknowledged by the recovery (pending
 // batched writes the scan validated), lost records destroyed by the

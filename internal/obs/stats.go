@@ -172,7 +172,8 @@ type Snapshot struct {
 	Shards []ShardSnapshot `json:"shards"`
 	// Completed-event counters: operation spans, commit flushes,
 	// completed migrations ("after-flip") and compactions
-	// ("after-reclaim"), crashes, recoveries, rebalance decisions.
+	// ("after-reclaim"), crashes, recoveries, rebalance decisions, and
+	// fault-campaign churn (partitions, heals, degrade changes).
 	OpSpans     uint64 `json:"op_spans"`
 	Commits     uint64 `json:"commits"`
 	Migrations  uint64 `json:"migrations"`
@@ -180,6 +181,9 @@ type Snapshot struct {
 	Crashes     uint64 `json:"crashes"`
 	Recoveries  uint64 `json:"recoveries"`
 	Rebalances  uint64 `json:"rebalances"`
+	Partitions  uint64 `json:"partitions"`
+	Heals       uint64 `json:"heals"`
+	Degrades    uint64 `json:"degrades"`
 }
 
 func opSnapshot(op Op, h *Hist, rate float64) OpSnapshot {
@@ -208,6 +212,9 @@ func (s *Stats) Snapshot() Snapshot {
 		Crashes:     s.kinds[KindCrash],
 		Recoveries:  s.kinds[KindRecover],
 		Rebalances:  s.kinds[KindRebalance],
+		Partitions:  s.kinds[KindPartition],
+		Heals:       s.kinds[KindHeal],
+		Degrades:    s.kinds[KindDegrade],
 	}
 	for op := OpNone + 1; op < numOps; op++ {
 		if s.perOp[op].N() == 0 {

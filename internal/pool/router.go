@@ -35,6 +35,7 @@
 package pool
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -257,7 +258,13 @@ func (r *Router) Get(key core.Val) (core.Val, bool, error) {
 
 // MultiGet fans the keys out to their clusters — one MultiGet per
 // involved cluster, carrying that cluster's keys in input order — and
-// merges the per-cluster results back into input order.
+// merges the per-cluster results back into input order. Partitioned
+// shards degrade the call, not fail it: clusters whose MultiGet returned
+// a kv.PartialResultError contribute their reachable results, and the
+// merged call returns one pool-level PartialResultError with the
+// unreachable shards lifted to global indices. A crashed shard still
+// fails the whole call (see kv.PartialResultError for why the two paths
+// differ).
 func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 	for _, k := range keys {
 		if k < 0 {
@@ -279,6 +286,8 @@ func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 	}
 	pstart := r.nowNS()
 	out := make([]kv.Lookup, len(keys))
+	var unavailable []int
+	missing := 0
 	for c, sub := range byCluster {
 		if len(sub) == 0 {
 			continue
@@ -288,11 +297,20 @@ func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 			lstart = r.stores[c].NowNS()
 		}
 		res, err := r.stores[c].MultiGet(sub)
-		if err != nil {
+		var partial *kv.PartialResultError
+		if err != nil && !errors.As(err, &partial) {
 			return nil, clusterErr(c, err)
 		}
+		if partial != nil {
+			// Cluster order is ascending and each cluster reports its
+			// unavailable shards ascending, so the global list stays sorted.
+			for _, sh := range partial.Unavailable {
+				unavailable = append(unavailable, r.globalShard(c, sh))
+			}
+			missing += partial.Missing
+		}
 		if r.rec != nil {
-			r.rec.FanOutLeg(span, obs.OpMultiGet, c, lstart, r.stores[c].NowNS(), len(sub))
+			r.rec.FanOutLeg(span, obs.OpMultiGet, c, lstart, r.stores[c].NowNS(), len(sub)-missingOf(partial))
 		}
 		for j, l := range res {
 			out[byClusterPos[c][j]] = l
@@ -301,7 +319,19 @@ func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 	if r.rec != nil {
 		r.rec.FanOut(span, obs.OpMultiGet, pstart, r.nowNS(), len(keys))
 	}
+	if missing > 0 {
+		return out, &kv.PartialResultError{Op: "multiget", Unavailable: unavailable, Missing: missing}
+	}
 	return out, nil
+}
+
+// missingOf returns a partial-result error's withheld-entry count (0 for
+// nil — a fully-served leg).
+func missingOf(e *kv.PartialResultError) int {
+	if e == nil {
+		return 0
+	}
+	return e.Missing
 }
 
 // Scan fans the range out across the clusters and merges the per-cluster
@@ -312,7 +342,10 @@ func (r *Router) MultiGet(keys []core.Val) ([]kv.Lookup, error) {
 // limit-th smallest are asked again, and no cluster is ever asked for
 // more than limit pairs in total. Pairs fetched but cut by the merge are
 // counted in Metrics.ScanDiscardedPairs; each refetch round ticks the
-// owning store's Scans counter.
+// owning store's Scans counter. Like MultiGet, partitioned shards degrade
+// the scan to a partial result (reachable shards' pairs plus one
+// pool-level kv.PartialResultError) while a crashed in-range shard fails
+// it.
 func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -321,6 +354,7 @@ func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
 		span = r.rec.NewSpan()
 	}
 	pstart := r.nowNS()
+	unavail := make([]bool, r.nShards)
 
 	legs := make([]scanLeg, len(r.stores))
 	for c := range legs {
@@ -350,8 +384,20 @@ func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
 			if r.rec != nil {
 				l.simEnd = r.stores[c].NowNS()
 			}
-			if err != nil {
+			var partial *kv.PartialResultError
+			if err != nil && !errors.As(err, &partial) {
 				return nil, clusterErr(c, err)
+			}
+			if partial != nil {
+				for _, sh := range partial.Unavailable {
+					unavail[r.globalShard(c, sh)] = true
+				}
+				// Every round's range is a subset of the first's, so the
+				// largest count seen is the leg's total withheld entries —
+				// summing rounds would double-count them.
+				if partial.Missing > l.missing {
+					l.missing = partial.Missing
+				}
 			}
 			l.fetched += len(pairs)
 			l.pairs = append(l.pairs, pairs...)
@@ -422,6 +468,19 @@ func (r *Router) Scan(lo, hi core.Val, limit int) ([]kv.Pair, error) {
 		}
 		r.rec.FanOut(span, obs.OpScan, pstart, r.nowNS(), len(merged))
 	}
+	missing := 0
+	for c := range legs {
+		missing += legs[c].missing
+	}
+	if missing > 0 {
+		var shards []int
+		for i, hit := range unavail {
+			if hit {
+				shards = append(shards, i)
+			}
+		}
+		return merged, &kv.PartialResultError{Op: "scan", Unavailable: shards, Missing: missing}
+	}
 	return merged, nil
 }
 
@@ -432,6 +491,7 @@ type scanLeg struct {
 	next      core.Val // resume point: one past the last fetched key
 	done      bool     // range exhausted or per-cluster cap reached
 	fetched   int
+	missing   int // in-range entries withheld by partitioned shards
 	simStart  float64
 	simEnd    float64
 	everAsked bool
@@ -569,6 +629,50 @@ func (r *Router) Recover(i int) (kv.RecoveryStats, error) {
 	}
 	stats.Shard = r.globalShard(c, stats.Shard)
 	return stats, nil
+}
+
+// Partition cuts the machine of the shard with global index i off its
+// cluster's fabric. The blast radius is cluster-local but strategy-
+// dependent: under the GPF-based strategies the partitioned cluster
+// cannot commit at all, while the other pooled clusters are entirely
+// unaffected — exactly the isolation pooling exists to provide.
+func (r *Router) Partition(i int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, local := r.localShard(i)
+	r.stores[c].Partition(local)
+}
+
+// Heal reconnects the shard with global index i to its cluster's fabric.
+func (r *Router) Heal(i int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, local := r.localShard(i)
+	r.stores[c].Heal(local)
+}
+
+// Degrade sets the latency multiplier of the shard with global index i's
+// device.
+func (r *Router) Degrade(i int, factor float64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, local := r.localShard(i)
+	r.stores[c].Degrade(local, factor)
+}
+
+// Health concatenates every cluster's shard health in global shard order.
+func (r *Router) Health() []kv.ShardHealth {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var all []kv.ShardHealth
+	for c, st := range r.stores {
+		hs := st.Health()
+		for j := range hs {
+			hs[j].Shard = r.globalShard(c, hs[j].Shard)
+		}
+		all = append(all, hs...)
+	}
+	return all
 }
 
 // Rebalance runs each cluster's load-aware rebalancer — bucket migration

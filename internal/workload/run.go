@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"cxl0/internal/core"
+	"cxl0/internal/faults"
 	"cxl0/internal/kv"
 	"cxl0/internal/pool"
 )
@@ -28,8 +30,20 @@ type Options struct {
 	// Ops is the number of measured operations (after preload).
 	Ops int
 	// CrashEvery injects one crash+recover cycle (rotating over shards)
-	// every CrashEvery measured operations; 0 disables crash churn.
+	// every CrashEvery measured operations; 0 disables crash churn. The
+	// rotation skips shards a concurrent Campaign already holds down or
+	// partitioned — injecting into a down shard would double-count
+	// recovery churn.
 	CrashEvery int
+	// Campaign is a scripted fault schedule driven alongside the
+	// operation stream (see internal/faults); nil runs fault-free (or
+	// with only the uniform CrashEvery churn). Under a campaign,
+	// operations denied by an injected fault are tolerated and counted
+	// (Result.FailedOps and friends) instead of aborting the run, and
+	// the run always ends healthy: remaining events fire, partitions
+	// heal and down shards recover — in schedule order — before the
+	// final Sync.
+	Campaign *faults.Campaign
 	// RebalanceEvery calls the store's load-aware rebalancer every
 	// RebalanceEvery measured operations; 0 keeps the static shard map.
 	RebalanceEvery int
@@ -72,6 +86,13 @@ type Result struct {
 	TotalCostNS float64 `json:"total_cost_ns"`
 	// ThroughputOpsPerSec is Ops divided by the simulated makespan.
 	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	// GoodputOpsPerSec counts only served operations: faults deny
+	// operations at zero simulated cost, so under a campaign the plain
+	// throughput ratio would reward outages (fewer ops served, same
+	// denominator ops count, smaller makespan). Goodput excludes
+	// FailedOps and UnavailableOps; it equals ThroughputOpsPerSec on a
+	// fault-free run and is the campaign headline's retention metric.
+	GoodputOpsPerSec float64 `json:"goodput_ops_per_sec"`
 
 	// Latency percentiles over per-operation ack latencies, in simulated
 	// nanoseconds (writes: submit to durable-ack; reads/scans: call
@@ -109,6 +130,28 @@ type Result struct {
 	RecoveryMaxNS  float64 `json:"recovery_max_ns,omitempty"`
 	RecordsLost    int     `json:"records_lost,omitempty"`
 	DroppedPending int     `json:"dropped_pending,omitempty"`
+
+	// Fault campaign. Campaign names the scripted schedule ("" = none;
+	// the uniform CrashEvery knob is not a campaign). The fields are
+	// always emitted — zero on campaign-free rows — so every row carries
+	// the same key set. Under a campaign, operations denied by an
+	// injected fault count here instead of aborting the run: FailedOps
+	// hit crashed shards (kv.ErrShardDown), UnavailableOps hit
+	// partitioned ones (kv.ErrUnavailable), and PartialResults counts
+	// fan-out reads that degraded to partial results and still returned
+	// the reachable shards' data.
+	Campaign       string `json:"campaign"`
+	FailedOps      int    `json:"failed_ops"`
+	UnavailableOps int    `json:"unavailable_ops"`
+	PartialResults int    `json:"partial_results"`
+	// Campaign recovery distribution, on the simulated clock: Outage*
+	// are crash-to-recovered windows, Recovery* the recovery work
+	// itself, PartitionP95NS the partition-to-heal window.
+	OutageP50NS    float64 `json:"outage_p50_ns"`
+	OutageP95NS    float64 `json:"outage_p95_ns"`
+	RecoveryP50NS  float64 `json:"recovery_p50_ns"`
+	RecoveryP95NS  float64 `json:"recovery_p95_ns"`
+	PartitionP95NS float64 `json:"partition_p95_ns"`
 
 	// Commits is the number of committed batches (batched strategies only).
 	Commits uint64 `json:"commits,omitempty"`
@@ -184,19 +227,65 @@ func Run(o Options) (Result, error) {
 		}
 	}
 
+	var eng *faults.Engine
+	if o.Campaign != nil {
+		eng = faults.New(db, o.Campaign)
+	}
+	// tolerate classifies an operation error under a campaign: faults
+	// the campaign injected deny operations by design, so they count
+	// instead of aborting. Partial results are checked first — they
+	// unwrap to ErrUnavailable but did serve the reachable shards.
+	tolerate := func(err error) bool {
+		if eng == nil {
+			return false
+		}
+		var partial *kv.PartialResultError
+		if errors.As(err, &partial) {
+			res.PartialResults++
+			return true
+		}
+		if errors.Is(err, kv.ErrUnavailable) {
+			res.UnavailableOps++
+			return true
+		}
+		if errors.Is(err, kv.ErrShardDown) {
+			res.FailedOps++
+			return true
+		}
+		return false
+	}
+
 	var readLat []float64
 	crashShard := 0
 	recoveryLost := 0
 	for i := 0; i < o.Ops; i++ {
-		if o.CrashEvery > 0 && i > 0 && i%o.CrashEvery == 0 {
-			shard := crashShard % db.NumShards()
-			crashShard++
-			db.Crash(shard)
-			stats, err := db.Recover(shard)
-			if err != nil {
-				return Result{}, fmt.Errorf("recover shard %d: %w", shard, err)
+		if eng != nil {
+			if err := eng.Step(i); err != nil {
+				return Result{}, err
 			}
-			recoveryLost += stats.Lost
+		}
+		if o.CrashEvery > 0 && i > 0 && i%o.CrashEvery == 0 {
+			// Rotate to the next healthy shard; a shard the campaign
+			// already holds down (or partitioned — recovery would need a
+			// heal first) is skipped, not double-injected.
+			shard := -1
+			health := db.Health()
+			for probe := 0; probe < len(health); probe++ {
+				cand := (crashShard + probe) % len(health)
+				if !health[cand].Down && !health[cand].Partitioned {
+					shard = cand
+					crashShard = cand + 1
+					break
+				}
+			}
+			if shard >= 0 {
+				db.Crash(shard)
+				stats, err := db.Recover(shard)
+				if err != nil {
+					return Result{}, fmt.Errorf("recover shard %d: %w", shard, err)
+				}
+				recoveryLost += stats.Lost
+			}
 		}
 		if o.RebalanceEvery > 0 && i > 0 && i%o.RebalanceEvery == 0 {
 			if _, err := db.Rebalance(); err != nil {
@@ -209,26 +298,43 @@ func Run(o Options) (Result, error) {
 			res.Reads++
 			start := db.NowNS()
 			if _, _, err := db.Get(core.Val(op.Key)); err != nil {
-				return Result{}, fmt.Errorf("op %d read: %w", i, err)
+				if !tolerate(err) {
+					return Result{}, fmt.Errorf("op %d read: %w", i, err)
+				}
+				break // a denied read costs nothing; no latency sample
 			}
 			readLat = append(readLat, db.NowNS()-start)
 		case OpUpdate:
 			res.Updates++
 			if _, err := db.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
-				return Result{}, fmt.Errorf("op %d update: %w", i, err)
+				if !tolerate(err) {
+					return Result{}, fmt.Errorf("op %d update: %w", i, err)
+				}
 			}
 		case OpInsert:
 			res.Inserts++
 			if _, err := db.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
-				return Result{}, fmt.Errorf("op %d insert: %w", i, err)
+				if !tolerate(err) {
+					return Result{}, fmt.Errorf("op %d insert: %w", i, err)
+				}
 			}
 		case OpScan:
 			res.Scans++
 			start := db.NowNS()
-			if _, err := db.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen); err != nil {
+			_, err := db.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen)
+			if err != nil && !tolerate(err) {
 				return Result{}, fmt.Errorf("op %d scan: %w", i, err)
 			}
-			readLat = append(readLat, db.NowNS()-start)
+			if err == nil || errors.Is(err, kv.ErrUnavailable) {
+				// Partial scans did real work on the reachable shards;
+				// their cost belongs in the latency distribution.
+				readLat = append(readLat, db.NowNS()-start)
+			}
+		}
+	}
+	if eng != nil {
+		if err := eng.Finish(); err != nil {
+			return Result{}, err
 		}
 	}
 	if err := db.Sync(); err != nil {
@@ -240,6 +346,7 @@ func Run(o Options) (Result, error) {
 	res.TotalCostNS = m.TotalBusyNS()
 	if res.SimNS > 0 {
 		res.ThroughputOpsPerSec = float64(o.Ops) / (res.SimNS * 1e-9)
+		res.GoodputOpsPerSec = float64(o.Ops-res.FailedOps-res.UnavailableOps) / (res.SimNS * 1e-9)
 	}
 	lat := append(readLat, m.WriteLatencies...)
 	sort.Float64s(lat)
@@ -270,6 +377,16 @@ func Run(o Options) (Result, error) {
 	}
 	if len(m.RecoveryNS) > 0 {
 		res.RecoveryMeanNS /= float64(len(m.RecoveryNS))
+	}
+	if eng != nil {
+		fs := eng.Stats()
+		res.Campaign = fs.Campaign
+		res.RecordsLost += fs.RecordsLost
+		res.OutageP50NS = faults.PercentileNS(fs.OutageNS, 50)
+		res.OutageP95NS = faults.PercentileNS(fs.OutageNS, 95)
+		res.RecoveryP50NS = faults.PercentileNS(fs.RecoveryNS, 50)
+		res.RecoveryP95NS = faults.PercentileNS(fs.RecoveryNS, 95)
+		res.PartitionP95NS = faults.PercentileNS(fs.PartitionNS, 95)
 	}
 	return res, nil
 }
