@@ -52,6 +52,7 @@ type benchConfig struct {
 	Shards         []int    `json:"shards"`
 	Clusters       []int    `json:"clusters"`
 	Variants       []string `json:"variants"`
+	PipelineDepths []int    `json:"pipeline_depths"`
 }
 
 // headline summarizes the two batching claims: group commit amortizes the
@@ -71,6 +72,15 @@ type headline struct {
 	// while fabric-wide charging grows linearly with the shard count.
 	GroupPerOpCostGrowth  float64 `json:"group_per_op_cost_growth,omitempty"`
 	RangedPerOpCostGrowth float64 `json:"ranged_per_op_cost_growth,omitempty"`
+	// PipelinedThroughput is the async-commit-pipeline claim: for each
+	// batched strategy × shard count × pipeline depth K > 1 in the sweep,
+	// throughput against the identical blocking (K=1) static row, with
+	// the ack/issue latency split pipelining trades for it. Ranged
+	// commit overlaps flushes with appends (speedup grows with K up to
+	// flush/append cost parity); group commit's fabric-wide GPF
+	// serializes the pipeline, so its rows hover near 1x — the contrast
+	// is the claim (see docs/pipeline.md).
+	PipelinedThroughput []pipelinedHead `json:"pipelined_throughput,omitempty"`
 	// Skew: max/mean shard busy (traffic only) under the zipfian
 	// update-heavy workload A — the static-routing row against the same
 	// configuration with online rebalancing, at the pair with the
@@ -173,6 +183,24 @@ type compactionHead struct {
 	Config               string  `json:"config"`
 }
 
+// pipelinedHead is one pipelined row's comparison against its blocking
+// (depth-1) baseline row.
+type pipelinedHead struct {
+	Strategy string `json:"strategy"`
+	Shards   int    `json:"shards"`
+	Depth    int    `json:"pipeline_depth"`
+	// ThroughputOpsPerSec is the pipelined row's throughput and
+	// SpeedupVsBlocking its ratio over the identical K=1 static row.
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	SpeedupVsBlocking   float64 `json:"speedup_vs_blocking,omitempty"`
+	// AckP99NS / IssueP99NS are the write-latency split: submit-to-
+	// durable-ack (grows with queue depth) vs submit-to-return (what the
+	// client blocks on — the pipeline's point).
+	AckP99NS   float64 `json:"ack_p99_ns"`
+	IssueP99NS float64 `json:"issue_p99_ns"`
+	Config     string  `json:"config"`
+}
+
 // pooledScale is one cluster count's pooling speedup over the matched
 // 1-cluster rows.
 type pooledScale struct {
@@ -196,6 +224,7 @@ func main() {
 	shardsF := flag.String("shards", "1,4,12", "comma-separated per-cluster shard counts")
 	clustersF := flag.String("clusters", "1,2,4", "comma-separated pooled cluster counts (rows with >1 pool that many clusters behind a router)")
 	variantsF := flag.String("variants", "base,psn", "comma-separated hardware variants (base,psn,lwb)")
+	pipelineDepthsF := flag.String("pipeline-depths", "1,2,4", "comma-separated commit-pipeline depths for the pipelined sweep (1 is the blocking baseline already in the matrix; depths >1 add sweep rows)")
 	colocate := flag.Bool("colocate", false, "bind shard workers to the shard's machine")
 	out := flag.String("out", "BENCH_kv.json", "output JSON path (empty disables)")
 	flag.Parse()
@@ -222,6 +251,10 @@ func main() {
 		fatal(err)
 	}
 	clusterCounts, err := parseCounts(*clustersF, "cluster")
+	if err != nil {
+		fatal(err)
+	}
+	pipelineDepths, err := parseCounts(*pipelineDepthsF, "pipeline depth")
 	if err != nil {
 		fatal(err)
 	}
@@ -401,7 +434,49 @@ func main() {
 	}
 	results = append(results, faultRows...)
 
+	// Pipelined-commit sweep: the batched strategies at every shard count
+	// with the async commit pipeline at each depth K > 1, on the same
+	// workload-A spec, first variant, single cluster and churn settings
+	// as the static rows — so each sweep row's K=1 comparator is the
+	// already-measured static row, byte for byte.
+	var pipeRows []workload.Result
+	for _, strat := range strategies {
+		if !strat.Batched() {
+			continue
+		}
+		for _, nShards := range shardCounts {
+			for _, depth := range pipelineDepths {
+				if depth <= 1 {
+					continue
+				}
+				res, err := workload.Run(workload.Options{
+					Spec: faultSpec,
+					Store: kv.Config{
+						Shards:        nShards,
+						Strategy:      strat,
+						Batch:         *batch,
+						Variant:       variants[0],
+						EvictEvery:    *evictEvery,
+						Colocate:      *colocate,
+						PipelineDepth: depth,
+					},
+					Clusters:   1,
+					Ops:        *ops,
+					CrashEvery: *crashEvery,
+					Seed:       *seed,
+				})
+				if err != nil {
+					fatal(fmt.Errorf("%s/%v/%d/K%d: %w", faultSpec.Name, strat, nShards, depth, err))
+				}
+				pipeRows = append(pipeRows, res)
+				printRow(res, "k")
+			}
+		}
+	}
+	results = append(results, pipeRows...)
+
 	head := summarize(results, shardCounts, *keys)
+	head.PipelinedThroughput = summarizePipelined(pipeRows, results)
 	head.FaultCampaign = summarizeCampaigns(faultRows,
 		fmt.Sprintf("%s/%d/%s", faultSpec.Name, maxShards, variants[0].String()))
 	fmt.Println()
@@ -421,6 +496,10 @@ func main() {
 	if head.GroupPerOpCostGrowth > 0 && head.RangedPerOpCostGrowth > 0 {
 		fmt.Printf("commit locality: per-op cost growth min->max shards: group %.2fx (fabric-wide GPF), ranged %.2fx (shard-local)\n",
 			head.GroupPerOpCostGrowth, head.RangedPerOpCostGrowth)
+	}
+	for _, ph := range head.PipelinedThroughput {
+		fmt.Printf("headline: pipelined %s at %d shards K=%d is %.2fx the blocking commit throughput (ack p99 %.0f ns, issue p99 %.0f ns)\n",
+			ph.Strategy, ph.Shards, ph.Depth, ph.SpeedupVsBlocking, ph.AckP99NS, ph.IssueP99NS)
 	}
 	if head.ImbalanceConfig != "" {
 		fmt.Printf("headline: rebalancing cuts workload A max/mean shard busy %.2fx -> %.2fx at %.2fx the static throughput (%s)\n",
@@ -449,6 +528,7 @@ func main() {
 				CompactAtFill: *compactAtFill, CampaignEvery: campaignEvery, Seed: *seed,
 				Workloads: strings.Split(*workloadsF, ","), Strategies: strings.Split(*strategiesF, ","),
 				Shards: shardCounts, Clusters: clusterCounts, Variants: strings.Split(*variantsF, ","),
+				PipelineDepths: pipelineDepths,
 			},
 			Results:  results,
 			Headline: head,
@@ -555,6 +635,37 @@ func summarizeCampaigns(rows []workload.Result, config string) faultCampaignHead
 	return head
 }
 
+// summarizePipelined derives the pipelined_throughput headline: each
+// sweep row against its identical blocking (K=1) static row — matched
+// on strategy/workload/shards/variant with single-cluster static
+// routing, the same filter byKey uses inside summarize.
+func summarizePipelined(pipeRows, all []workload.Result) []pipelinedHead {
+	blocking := map[string]workload.Result{}
+	for _, r := range all {
+		if r.Campaign == "" && r.PipelineDepth == 0 &&
+			r.RebalanceEvery == 0 && r.Clusters == 1 && r.CompactAtFill == 0 {
+			blocking[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)] = r
+		}
+	}
+	var heads []pipelinedHead
+	for _, r := range pipeRows {
+		ph := pipelinedHead{
+			Strategy:            r.Strategy,
+			Shards:              r.Shards,
+			Depth:               r.PipelineDepth,
+			ThroughputOpsPerSec: r.ThroughputOpsPerSec,
+			AckP99NS:            r.AckP99NS,
+			IssueP99NS:          r.IssueP99NS,
+			Config:              fmt.Sprintf("%s/%s/%d/%s/K%d", r.Workload, r.Strategy, r.Shards, r.Variant, r.PipelineDepth),
+		}
+		if base, ok := blocking[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)]; ok && base.ThroughputOpsPerSec > 0 {
+			ph.SpeedupVsBlocking = r.ThroughputOpsPerSec / base.ThroughputOpsPerSec
+		}
+		heads = append(heads, ph)
+	}
+	return heads
+}
+
 // summarize derives the headline claims from the full result matrix.
 // Campaign rows are excluded: they run fault schedules no other row
 // runs, so folding them into the batching/pooling/skew comparisons (or
@@ -564,7 +675,10 @@ func summarizeCampaigns(rows []workload.Result, config string) faultCampaignHead
 func summarize(all []workload.Result, shardCounts []int, keys int) headline {
 	var results []workload.Result
 	for _, r := range all {
-		if r.Campaign == "" {
+		// Campaign and pipelined-sweep rows run schedules/configurations
+		// no other row runs; summarizeCampaigns and summarizePipelined
+		// read them instead.
+		if r.Campaign == "" && r.PipelineDepth == 0 {
 			results = append(results, r)
 		}
 	}

@@ -79,10 +79,12 @@ const dashboardHTML = `<!doctype html>
 <div class="cols">
   <div>
     <section>
-      <h2>Shards — busy share &amp; log fill</h2>
+      <h2>Shards — busy share, log fill &amp; commit pipeline</h2>
       <table id="shards"><thead><tr>
         <th>shard</th><th>cluster</th><th class="barcell">busy share</th>
         <th class="barcell">fill</th><th>live</th>
+        <th title="acked-watermark position: log records below it are acknowledged durable">acked</th>
+        <th title="commit flushes currently in flight">in-flight</th>
       </tr></thead><tbody></tbody></table>
     </section>
     <section>
@@ -138,6 +140,8 @@ function render(m) {
     tile("events/s", fmt(opsRate), "op spans per host second (rolling 10s)") +
     tile("acked writes", fmt(m.kv.acked)) +
     tile("commits", fmt(m.kv.commits)) +
+    tile("pipelined", fmt(m.kv.pipelined_commits) + " (K&le;" + (m.kv.max_in_flight || 0) + ")",
+      "commit flushes issued through the async pipeline; deepest in-flight occupancy any shard reached") +
     tile("compactions", fmt(m.kv.compactions)) +
     tile("migrations", fmt(m.kv.migrations)) +
     tile("recoveries", fmt(m.kv.recoveries)) +
@@ -160,7 +164,8 @@ function render(m) {
       '<td class="barcell">' + barCell(maxShare > 0 ? s.busy_share / maxShare : 0, "busy",
         (s.busy_share * 100).toFixed(1) + "%") + "</td>" +
       '<td class="barcell">' + barCell(s.fill, "fill", (s.fill * 100).toFixed(1) + "%") + "</td>" +
-      "<td>" + s.live + "</td></tr>";
+      "<td>" + s.live + "</td><td>" + (s.acked || 0) + "</td>" +
+      "<td>" + (s.in_flight ? s.in_flight + "&times;" : "&mdash;") + "</td></tr>";
   });
   el("shards").tBodies[0].innerHTML = sh;
 
@@ -192,6 +197,8 @@ function detail(e) {
   if (e.kind === "degrade" && e.n) parts.push("×" + e.n / 100);
   else if (e.n) parts.push("n=" + e.n);
   if (e.acked) parts.push("acked=" + e.acked);
+  if (e.kind === "commit" && e.depth > 1) parts.push("K=" + e.depth);
+  if (e.queue_ns > 0) parts.push("q " + us(e.queue_ns) + "µs");
   if (e.lost) parts.push("lost=" + e.lost);
   var cost = e.end_ns - e.start_ns;
   if (cost > 0) parts.push(us(cost) + "µs");

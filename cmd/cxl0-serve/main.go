@@ -53,6 +53,7 @@ func run() error {
 	clusters := flag.Int("clusters", 2, "pooled cluster count")
 	shards := flag.Int("shards", 2, "shards per cluster")
 	strategyF := flag.String("strategy", "group", "persistence strategy (mstore,flush,rflush,gpf,group,ranged)")
+	pipeline := flag.Int("pipeline", 2, "commit pipeline depth for batched strategies (1 = blocking commit)")
 	workloadF := flag.String("workload", "A", "YCSB workload (A,B,C,D,E)")
 	keys := flag.Int("keys", 500, "preloaded keyspace size")
 	rate := flag.Int("rate", 500, "target operations per host second")
@@ -98,7 +99,8 @@ func run() error {
 			// Continuous serving: auto-compaction keeps the logs
 			// reusable indefinitely.
 			Capacity: 4096, CompactAtFill: 0.85,
-			Seed: *seed + 1,
+			PipelineDepth: *pipeline,
+			Seed:          *seed + 1,
 		},
 	})
 	if err != nil {
@@ -142,8 +144,12 @@ func run() error {
 	if *campaignF != "" {
 		campaignNote = fmt.Sprintf(", %s campaign every %d ops", *campaignF, *campaignEvery)
 	}
-	log.Printf("cxl0-serve: %d cluster(s) × %d shard(s), %s strategy, workload %s at %d ops/s%s on %s",
-		*clusters, *shards, strat, spec.Name, *rate, campaignNote, ln.Addr())
+	pipeNote := ""
+	if *pipeline > 1 && strat.Batched() {
+		pipeNote = fmt.Sprintf(", commit pipeline K=%d", *pipeline)
+	}
+	log.Printf("cxl0-serve: %d cluster(s) × %d shard(s), %s strategy%s, workload %s at %d ops/s%s on %s",
+		*clusters, *shards, strat, pipeNote, spec.Name, *rate, campaignNote, ln.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -302,6 +308,11 @@ type shardRow struct {
 	ChurnNS   float64 `json:"churn_ns"`
 	Fill      float64 `json:"fill"`
 	Live      int     `json:"live"`
+	// Acked is the shard's acked-watermark position (log records
+	// [0, acked) are acknowledged durable) and InFlight its current
+	// commit-pipeline occupancy; see docs/pipeline.md.
+	Acked    int `json:"acked"`
+	InFlight int `json:"in_flight"`
 }
 
 // metricsSnapshot is the /metrics JSON document.
@@ -339,6 +350,8 @@ type metricsSnapshot struct {
 		Migrations         uint64 `json:"migrations"`
 		Compactions        uint64 `json:"compactions"`
 		ReclaimedSlots     uint64 `json:"reclaimed_slots"`
+		PipelinedCommits   uint64 `json:"pipelined_commits"`
+		MaxInFlight        int    `json:"max_in_flight"`
 	} `json:"kv"`
 
 	Shards []shardRow   `json:"shards"`
@@ -382,6 +395,7 @@ func (s *server) snapshot() metricsSnapshot {
 	doc.KV.Acked, doc.KV.Commits, doc.KV.DroppedPending = m.Acked, m.Commits, m.DroppedPending
 	doc.KV.Recoveries, doc.KV.Migrations = m.Recoveries, m.Migrations
 	doc.KV.Compactions, doc.KV.ReclaimedSlots = m.Compactions, m.ReclaimedSlots
+	doc.KV.PipelinedCommits, doc.KV.MaxInFlight = m.PipelinedCommits, m.MaxInFlight
 	totalBusy := 0.0
 	for _, b := range m.PerShardBusyNS {
 		totalBusy += b
@@ -400,6 +414,12 @@ func (s *server) snapshot() metricsSnapshot {
 		}
 		if i < len(m.PerShardLive) {
 			row.Live = m.PerShardLive[i]
+		}
+		if i < len(m.PerShardAcked) {
+			row.Acked = m.PerShardAcked[i]
+		}
+		if i < len(m.PerShardInFlight) {
+			row.InFlight = m.PerShardInFlight[i]
 		}
 		doc.Shards = append(doc.Shards, row)
 	}

@@ -25,7 +25,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	r, err := pool.Open(pool.Config{
 		Clusters: 2,
-		Store:    kv.Config{Shards: 2, Strategy: kv.GroupCommit, Batch: 8, Capacity: 2048, CompactAtFill: 0.85, Seed: 3},
+		Store:    kv.Config{Shards: 2, Strategy: kv.GroupCommit, Batch: 8, Capacity: 2048, CompactAtFill: 0.85, PipelineDepth: 2, Seed: 3},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +105,21 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	if m2.Bus.Published == 0 {
 		t.Fatal("bus published nothing despite instrumentation")
 	}
+	if m2.KV.PipelinedCommits == 0 {
+		t.Fatal("no pipelined commits under a PipelineDepth=2 batched store")
+	}
+	if m2.KV.MaxInFlight < 1 {
+		t.Fatalf("max in-flight depth %d, want >= 1 with the pipeline active", m2.KV.MaxInFlight)
+	}
+	ackedRows := 0
+	for _, row := range m2.Shards {
+		if row.Acked > 0 {
+			ackedRows++
+		}
+	}
+	if ackedRows == 0 {
+		t.Fatal("no shard row reports an advanced acked-watermark")
+	}
 	if m2.Faults.Campaign != "partitioned" {
 		t.Fatalf("faults block reports campaign %q, want partitioned", m2.Faults.Campaign)
 	}
@@ -171,7 +186,7 @@ func TestDashboardServed(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := string(raw)
-	for _, want := range []string{"<!doctype html", "EventSource", "/metrics", "busy share"} {
+	for _, want := range []string{"<!doctype html", "EventSource", "/metrics", "busy share", "in-flight", "pipelined"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("dashboard missing %q", want)
 		}

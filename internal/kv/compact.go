@@ -172,6 +172,9 @@ func (s *Store) SnapshotLen(i int) int {
 func (s *Store) Compact() ([]CompactionStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frontDown {
+		return nil, ErrFrontDown
+	}
 	var all []CompactionStats
 	for _, sh := range s.shards {
 		if len(sh.log) == 0 {
@@ -193,6 +196,9 @@ func (s *Store) CompactShard(i int) (CompactionStats, error) {
 	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.shards) {
 		return CompactionStats{}, fmt.Errorf("kv: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	if s.frontDown {
+		return CompactionStats{}, ErrFrontDown
 	}
 	return s.compactLocked(s.shards[i])
 }

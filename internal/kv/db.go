@@ -234,5 +234,29 @@ func (e *PartialResultError) Error() string {
 // Unwrap keeps errors.Is(err, ErrUnavailable) working.
 func (e *PartialResultError) Unwrap() error { return ErrUnavailable }
 
+// FrontRecoverer is the optional front-end failover surface (see
+// failover.go and docs/pipeline.md). A DB implements it when it can
+// crash and restart its front-end machine(s) — the coordinator every
+// non-colocated worker is homed on. While the front is down the whole
+// data plane fails with ErrFrontDown; RecoverFront restarts the front
+// and replays every shard's durable log to re-attach, salvaging flushed
+// batches and dropping whatever lived only in the front's cache.
+// *Store implements it; pool.Router fans it out to every cluster.
+type FrontRecoverer interface {
+	// CrashFront fails the front-end machine, destroying its cached
+	// (unflushed) batches. Every subsequent operation returns
+	// ErrFrontDown until RecoverFront.
+	CrashFront()
+	// RecoverFront restarts the front end and re-attaches every healthy
+	// shard by replaying its durable log, one RecoveryStats per shard
+	// re-attached (crashed shards are skipped — recover them with
+	// Recover afterwards). It refuses with ErrUnavailable while any
+	// shard is partitioned: re-attachment must read the shard's medium.
+	RecoverFront() ([]RecoveryStats, error)
+	// FrontDown reports whether the front end is currently crashed.
+	FrontDown() bool
+}
+
 // Store implements the full DB surface.
 var _ DB = (*Store)(nil)
+var _ FrontRecoverer = (*Store)(nil)

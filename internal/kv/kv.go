@@ -167,6 +167,14 @@ var ErrShardFull = errors.New("kv: shard log full")
 // is reserved for delete tombstones, negative values for the runtime).
 var ErrBadKey = errors.New("kv: keys must be >= 0 and values >= 1")
 
+// ErrFrontDown is returned for operations submitted while the front-end
+// machine is crashed: every client operation enters through the front
+// end, so a front crash takes the whole service surface down — shard
+// machines, their logs and their caches stay intact — until RecoverFront
+// restarts it and re-attaches the shards (replaying each durable log to
+// recover in-flight batches; see docs/pipeline.md).
+var ErrFrontDown = errors.New("kv: front-end machine is down")
+
 // ErrDurabilityViolation is returned by Recover when the checksum cut falls
 // inside the acknowledged prefix: an acknowledged — and therefore durable —
 // record failed to validate, which no crash should be able to cause. It
@@ -279,6 +287,18 @@ type Config struct {
 	// Batch is the commit batch size of the batched strategies
 	// (default 32; ignored by the per-operation strategies).
 	Batch int
+	// PipelineDepth is the number of commit flushes a shard may have in
+	// flight at once under the batched strategies (GroupCommit,
+	// RangedCommit). 1 (the default) is the classic blocking commit: the
+	// batch-filling write waits for its flush and returns Ack.Durable ==
+	// true. Depths above 1 enable the asynchronous commit pipeline:
+	// appends keep streaming while up to PipelineDepth flushes are in
+	// flight, every batched write returns Ack.Durable == false, acks fire
+	// in batch order at each batch's own commit point, and reads are
+	// gated by the shard's acked-watermark (a Get never returns a value
+	// newer than the watermark; see docs/pipeline.md). Ignored by the
+	// per-operation strategies.
+	PipelineDepth int
 	// Variant selects the hardware model flavour (Base, PSN, LWB).
 	Variant core.Variant
 	// EvictEvery injects background cache eviction as in memsim.Config.
@@ -324,6 +344,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Batch <= 0 {
 		c.Batch = DefaultBatch
+	}
+	if c.PipelineDepth < 1 {
+		c.PipelineDepth = 1
 	}
 	if c.ThreadsPerShard <= 0 {
 		c.ThreadsPerShard = 1

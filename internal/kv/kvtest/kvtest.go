@@ -47,6 +47,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("MultiGet", func(t *testing.T) { testMultiGet(t, f) })
 	t.Run("SyncCommits", func(t *testing.T) { testSyncCommits(t, f) })
 	t.Run("CrashRecoverVisibility", func(t *testing.T) { testCrashRecoverVisibility(t, f) })
+	t.Run("PipelinedAckOrder", func(t *testing.T) { testPipelinedAckOrder(t, f) })
 	t.Run("FaultCampaignVisibility", func(t *testing.T) { testFaultCampaignVisibility(t, f) })
 	t.Run("CompactVisibility", func(t *testing.T) { testCompactVisibility(t, f) })
 	t.Run("AutoCompactCapacity", func(t *testing.T) { testAutoCompactCapacity(t, f) })
@@ -104,6 +105,143 @@ func testAckDurability(t *testing.T, f Factory) {
 			}
 			if m := db.Metrics(); m.Acked != n {
 				t.Fatalf("acked = %d after sync, want %d", m.Acked, n)
+			}
+		})
+	}
+}
+
+// testPipelinedAckOrder pins the asynchronous commit pipeline's client
+// contract (Config.PipelineDepth > 1 with a batched strategy): no write
+// is durable at return; reads respect the acked watermark — a freshly
+// overwritten key keeps serving its last acknowledged value until the
+// overwrite's batch commits; acks fire in batch order at their batches'
+// commit points; Sync drains every in-flight flush; and a whole-service
+// crash with flushes in flight recovers at least the acked prefix, with
+// reads old-or-new, never garbage.
+func testPipelinedAckOrder(t *testing.T, f Factory) {
+	for _, strat := range []kv.Strategy{kv.GroupCommit, kv.RangedCommit} {
+		t.Run(strat.String(), func(t *testing.T) {
+			cfg := cfgFor(strat)
+			cfg.PipelineDepth = 3
+			db := f(t, cfg)
+			var sub *obs.Sub
+			if o, ok := db.(observable); ok {
+				bus := obs.NewBus(obs.DefaultBusSize)
+				sub = bus.Subscribe()
+				o.Observe(obs.NewRecorder(bus, nil))
+			}
+
+			const n = 48
+			for k := core.Val(0); k < n; k++ {
+				ack, err := db.Put(k, 1000+k)
+				if err != nil {
+					t.Fatalf("put %d: %v", k, err)
+				}
+				if ack.Durable {
+					t.Fatalf("pipelined put %d acked durable at return", k)
+				}
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			m := db.Metrics()
+			if m.Acked != n {
+				t.Fatalf("acked = %d after sync, want %d", m.Acked, n)
+			}
+			for i, inflight := range m.PerShardInFlight {
+				if inflight != 0 {
+					t.Fatalf("shard %d still has %d flushes in flight after Sync", i, inflight)
+				}
+			}
+			if m.PipelinedCommits == 0 {
+				t.Fatal("no commit flush went through the pipeline")
+			}
+
+			// The watermark gate, deterministically: Sync left every open
+			// batch empty, so this one overwrite sits unacknowledged in a
+			// fresh open batch — reads must keep serving the acked value.
+			if _, err := db.Put(0, 9000); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, err := db.Get(0); err != nil || !ok || v != 1000 {
+				t.Fatalf("watermark get = (%d, %v, %v), want the acked 1000", v, ok, err)
+			}
+			pairs, err := db.Scan(0, 1, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pairs) != 1 || pairs[0].Val != 1000 {
+				t.Fatalf("watermark scan = %+v, want [{0 1000}]", pairs)
+			}
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, err := db.Get(0); err != nil || !ok || v != 9000 {
+				t.Fatalf("post-sync get = (%d, %v, %v), want 9000", v, ok, err)
+			}
+
+			// Overwrite everything and crash with flushes in flight. The
+			// acked watermark read before the crash is each key's floor:
+			// recovery must land on that value or the newer one.
+			for k := core.Val(0); k < n; k++ {
+				if _, err := db.Put(k, 5000+k); err != nil {
+					t.Fatalf("overwrite %d: %v", k, err)
+				}
+			}
+			// Only the ranged strategy is guaranteed to stack depth: a GPF
+			// occupies the whole fabric, so any shard's global flush
+			// advances every other shard's busy clock past its in-flight
+			// completion points — global fences serialize the pipeline.
+			if strat == kv.RangedCommit {
+				if got := db.Metrics().MaxInFlight; got < 2 {
+					t.Fatalf("max in-flight depth = %d; the pipeline never overlapped flushes", got)
+				}
+			}
+			pre := make([]core.Val, n)
+			for k := core.Val(0); k < n; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok {
+					t.Fatalf("pre-crash get %d: (%v, %v)", k, ok, err)
+				}
+				pre[k] = v
+			}
+			ackedBefore := db.Metrics().Acked
+			crashRecoverAll(t, db)
+			if got := db.Metrics().Acked; got < ackedBefore {
+				t.Fatalf("recovery lost acknowledged writes: %d -> %d", ackedBefore, got)
+			}
+			for k := core.Val(0); k < n; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok {
+					t.Fatalf("post-crash get %d: (%v, %v)", k, ok, err)
+				}
+				if v != pre[k] && v != 5000+k {
+					t.Fatalf("post-crash get %d = %d, want acked %d or newer %d", k, v, pre[k], 5000+k)
+				}
+			}
+
+			// Commit events carry the pipeline telemetry: depth within
+			// [1, PipelineDepth], and per shard the commit points — each
+			// batch's ack time — never regress: acks fire in batch order.
+			if sub != nil {
+				lastEnd := map[int]float64{}
+				commits := 0
+				for _, e := range sub.Poll(0) {
+					if e.Kind != obs.KindCommit {
+						continue
+					}
+					commits++
+					if e.Depth < 1 || e.Depth > cfg.PipelineDepth {
+						t.Fatalf("commit depth %d outside [1, %d]", e.Depth, cfg.PipelineDepth)
+					}
+					if e.EndNS < lastEnd[e.Shard] {
+						t.Fatalf("shard %d commit point %g regressed below %g", e.Shard, e.EndNS, lastEnd[e.Shard])
+					}
+					lastEnd[e.Shard] = e.EndNS
+				}
+				if commits == 0 {
+					t.Fatal("no commit events observed")
+				}
 			}
 		})
 	}

@@ -151,6 +151,9 @@ func (s *Store) MigrateBucket(b, to int) (MigrationStats, error) {
 	if to < 0 || to >= len(s.shards) {
 		return MigrationStats{}, fmt.Errorf("kv: shard %d out of range [0,%d)", to, len(s.shards))
 	}
+	if s.frontDown {
+		return MigrationStats{}, ErrFrontDown
+	}
 	if s.shardMap[b] == to {
 		return MigrationStats{Bucket: b, From: to, To: to}, nil
 	}
@@ -395,6 +398,9 @@ func (s *Store) reindexBucket(dst *shard, b int) {
 func (s *Store) Rebalance() ([]MigrationStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frontDown {
+		return nil, ErrFrontDown
+	}
 	if s.rec == nil {
 		return s.rebalanceLocked()
 	}

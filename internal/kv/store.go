@@ -55,6 +55,10 @@ type RecoveryStats struct {
 type rec struct {
 	key, val core.Val
 	startNS  float64 // simulated submit time, for ack-latency accounting
+	// issueNS is when the record's write path finished (the append
+	// returned to the client): issueNS-startNS is the issue latency,
+	// ack latency the (possibly much later) commit point minus startNS.
+	issueNS float64
 	// move marks a move-marker record (bucket-migration bookkeeping, keyed
 	// by bucket rather than client key; checksummed in the moveChkOf
 	// domain). copied marks a migrated copy of a client record — real
@@ -101,6 +105,14 @@ type shard struct {
 	acked   int    // log records [0, acked) are acknowledged durable
 	pending int    // batched records awaiting their batch's commit flush
 	batchE  uint64 // shard-machine crash epoch when the open batch began
+	// Asynchronous commit pipeline state (Config.PipelineDepth > 1; see
+	// pipeline.go). flights are the in-flight commit flushes, oldest
+	// first; laneEnd is the flush lane's frontier in shard-busy-time
+	// coordinates; shadow holds the acked-watermark read state of keys
+	// overwritten past the watermark (nil when empty).
+	flights []flight
+	laneEnd float64
+	shadow  map[core.Val]shadowEntry
 	down    bool
 	// partitioned marks the shard's machine as cut off by a fabric
 	// partition: everything is intact but unreachable, so operations fail
@@ -113,6 +125,7 @@ type shard struct {
 	// the rebalancer's load windows exclude it.
 	churnNS  float64
 	writeLat []float64 // ack latencies of acknowledged writes
+	issueLat []float64 // issue (submit-to-return) latencies of the same
 }
 
 func (sh *shard) keyLoc(slot int) core.LocID { return sh.base + core.LocID(slot*recWords) }
@@ -206,8 +219,23 @@ type Metrics struct {
 	// PerShardBusyNS's global shard order under a pooled router.
 	PerShardFill []float64
 	PerShardLive []int
-	// WriteLatencies are simulated ack latencies of acknowledged writes.
+	// WriteLatencies are simulated ack latencies of acknowledged writes
+	// (submit to durable-ack, including any commit-pipeline lane wait);
+	// IssueLatencies are the same writes' submit-to-return latencies.
+	// With the pipeline off they nearly coincide; the gap between their
+	// distributions is exactly what pipelining buys (see docs/pipeline.md).
 	WriteLatencies []float64
+	IssueLatencies []float64
+	// PipelinedCommits counts commit flushes issued through the
+	// asynchronous pipeline (always 0 at PipelineDepth 1) and
+	// MaxInFlight the deepest pipeline occupancy any shard reached.
+	// PerShardInFlight and PerShardAcked are gauges at snapshot time:
+	// each shard's in-flight flush count and its acked-watermark
+	// position (log records [0, acked) are acknowledged durable).
+	PipelinedCommits uint64
+	MaxInFlight      int
+	PerShardInFlight []int
+	PerShardAcked    []int
 }
 
 // MaxBusyNS returns the busiest shard's simulated time — the service
@@ -286,6 +314,8 @@ type Store struct {
 	scannedPairs               uint64
 	multiGets, batches         uint64
 	commits                    uint64
+	pipeCommits                uint64
+	maxInFlight                int
 	ackedWrites                uint64
 	dropped                    uint64
 	recoveries                 uint64
@@ -295,6 +325,12 @@ type Store struct {
 	reclaimedSlots             uint64
 	recoveryNS                 []float64
 	compactionNS               []float64
+
+	// frontDown is true while the front-end machine is crashed: every
+	// client operation enters through the front end, so the whole
+	// service surface fails with ErrFrontDown until RecoverFront (see
+	// failover.go).
+	frontDown bool
 
 	// migrating (resp. compacting) is true while a bucket migration (resp.
 	// a log compaction) is writing and flushing its records, so shared
@@ -693,14 +729,20 @@ func (s *Store) flushPending(sh *shard) error {
 		// for — commitLocked's acknowledgment loop covers exactly the
 		// batchKeys records, and migration-copy flushes carry 0.
 		s.obsCommitAcked += uint64(len(batchKeys))
-		s.rec.Commit(sh.id, fstart, s.cluster.NowNS(), flushed, len(batchKeys))
+		s.rec.Commit(sh.id, fstart, s.cluster.NowNS(), flushed, len(batchKeys), 1, 0)
 	}
 	return nil
 }
 
 // commitLocked flushes shard sh's open batch (GroupCommit or RangedCommit)
-// and acknowledges its client writes.
+// and acknowledges its client writes. On the pipelined path it is the
+// drain point: every in-flight flight retires (in batch order, stalling
+// the shard as needed) before the open batch commits, so after a
+// successful return the acked-watermark covers the whole log.
 func (s *Store) commitLocked(sh *shard) error {
+	if s.pipelined() {
+		s.drainFlights(sh)
+	}
 	if sh.pending == 0 {
 		return nil
 	}
@@ -712,19 +754,32 @@ func (s *Store) commitLocked(sh *shard) error {
 	for slot := first; slot < len(sh.log); slot++ {
 		if r := sh.log[slot]; !r.move && !r.copied {
 			sh.writeLat = append(sh.writeLat, now-r.startNS)
+			sh.issueLat = append(sh.issueLat, r.issueNS-r.startNS)
 			s.ackedWrites++
+			if s.rec != nil {
+				s.rec.WriteLatency(now-r.startNS, r.issueNS-r.startNS)
+			}
 		}
 	}
+	// The watermark caught up with the log tip; no read needs shadow
+	// state anymore.
+	sh.shadow = nil
 	return nil
 }
 
 // append routes one write (val 0 = tombstone) to shard sh.
 func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
+	if s.frontDown {
+		return Ack{}, ErrFrontDown
+	}
 	if sh.down {
 		return Ack{}, ErrShardDown
 	}
 	if sh.partitioned {
 		return Ack{}, ErrUnavailable
+	}
+	if s.pipelined() {
+		s.retireReady(sh)
 	}
 	// Auto-compaction runs before this append's span stamp: compactLocked
 	// charges its own time as churn, and charging it inside the append's
@@ -745,6 +800,13 @@ func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	if err := s.writeRecord(sh, slot, r); err != nil {
 		return Ack{}, err
 	}
+	r.issueNS = s.cluster.NowNS()
+	if s.pipelined() {
+		// Record the key's acked-watermark state before the index moves
+		// past it: reads keep serving that state until this record's
+		// batch retires.
+		s.shadowTrack(sh, key, slot)
+	}
 	sh.log = append(sh.log, r)
 	if val == 0 {
 		delete(sh.index, key)
@@ -757,10 +819,26 @@ func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	s.bucketWin[s.bucketOf(key)] += s.cluster.NowNS() - start
 	durable := s.cfg.Strategy.Durable()
 	if durable {
+		now := s.cluster.NowNS()
 		sh.acked = len(sh.log)
-		sh.writeLat = append(sh.writeLat, s.cluster.NowNS()-start)
+		sh.writeLat = append(sh.writeLat, now-start)
+		sh.issueLat = append(sh.issueLat, r.issueNS-start)
 		s.ackedWrites++
+		if s.rec != nil {
+			s.rec.WriteLatency(now-start, r.issueNS-start)
+		}
 	} else if sh.pending >= s.cfg.Batch {
+		if s.pipelined() {
+			// The pipelined commit point: close the append's span first
+			// (the flush must not land on the busy clock), then issue
+			// the batch as an in-flight flight. The filling write
+			// returns unacknowledged — its ack fires at retirement.
+			sh.busyNS += s.cluster.NowNS() - start
+			if err := s.issueFlight(sh); err != nil {
+				return Ack{}, err
+			}
+			return Ack{Shard: sh.id, Seq: slot, Durable: false}, nil
+		}
 		if err := s.commitLocked(sh); err != nil {
 			return Ack{}, err
 		}
@@ -850,13 +928,27 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 	s.gets++
 	sh := s.shards[s.shardOf(key)]
+	if s.frontDown {
+		return 0, false, ErrFrontDown
+	}
 	if sh.down {
 		return 0, false, ErrShardDown
 	}
 	if sh.partitioned {
 		return 0, false, ErrUnavailable
 	}
+	if s.pipelined() {
+		s.retireReady(sh)
+	}
 	slot, ok := sh.index[key]
+	if s.pipelined() {
+		// Watermark gate: a key overwritten past the acked-watermark is
+		// served from its shadow (last acked) state — a read never
+		// observes a value a crash could still take back.
+		if e, shadowed := sh.shadow[key]; shadowed {
+			slot, ok = e.slot, e.exists
+		}
+	}
 	if !ok {
 		return 0, false, nil
 	}
@@ -888,6 +980,9 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.multiGets++
+	if s.frontDown {
+		return nil, ErrFrontDown
+	}
 	var start float64
 	if s.rec != nil {
 		start = s.cluster.NowNS()
@@ -1011,6 +1106,9 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.scans++
+	if s.frontDown {
+		return nil, ErrFrontDown
+	}
 	var sstart float64
 	if s.rec != nil {
 		sstart = s.cluster.NowNS()
@@ -1024,6 +1122,9 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	unavailable := make([]bool, len(s.shards))
 	missing := 0
 	for _, sh := range s.shards {
+		if s.pipelined() && !sh.down && !sh.partitioned {
+			s.retireReady(sh)
+		}
 		for k, slot := range sh.index {
 			if k >= lo && k < hi {
 				// A down shard only fails the scan when it actually holds
@@ -1040,8 +1141,28 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 					missing++
 					continue
 				}
+				// Watermark gate: serve the key's last acked state — or
+				// skip it entirely when it had none (its first write is
+				// still in flight).
+				if e, shadowed := sh.shadow[k]; shadowed {
+					if e.exists {
+						cands = append(cands, cand{key: k, slot: e.slot, sh: sh})
+					}
+					continue
+				}
 				cands = append(cands, cand{key: k, slot: slot, sh: sh})
 			}
+		}
+		// Keys deleted past the watermark left the index but their acked
+		// state is still readable — the shadow carries it.
+		for k, e := range sh.shadow {
+			if k < lo || k >= hi || !e.exists || sh.down || sh.partitioned {
+				continue
+			}
+			if _, live := sh.index[k]; live {
+				continue
+			}
+			cands = append(cands, cand{key: k, slot: e.slot, sh: sh})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
@@ -1075,8 +1196,11 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frontDown {
+		return ErrFrontDown
+	}
 	for _, sh := range s.shards {
-		if sh.pending == 0 {
+		if sh.pending == 0 && len(sh.flights) == 0 {
 			continue
 		}
 		start := s.cluster.NowNS()
@@ -1103,6 +1227,18 @@ func (s *Store) crashLocked(i int) {
 	sh := s.shards[i]
 	s.cluster.Crash(sh.machine)
 	sh.down = true
+	if s.pipelined() {
+		// Fold in-flight flights back into the pending tail: their
+		// records were flushed to the medium at issue, so Recover's scan
+		// salvages them like any recovered pending batch — the acked
+		// prefix is exactly [0, acked). The flight queue, flush lane and
+		// watermark shadow are volatile bookkeeping and die with the
+		// crash.
+		sh.pending = len(sh.log) - sh.acked
+		sh.flights = nil
+		sh.laneEnd = 0
+		sh.shadow = nil
+	}
 	if s.rec != nil {
 		s.rec.Crash(i, s.cluster.NowNS())
 	}
@@ -1224,6 +1360,12 @@ func (s *Store) replayRecord(index map[core.Val]int, slot int, r rec, onlyBucket
 func (s *Store) Recover(i int) (RecoveryStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frontDown {
+		// Non-colocated workers are homed on the front end; nothing can
+		// run until it is back. RecoverFront recovers every shard's state
+		// itself.
+		return RecoveryStats{}, fmt.Errorf("%w: recover shard %d via RecoverFront", ErrFrontDown, i)
+	}
 	sh := s.shards[i]
 	if !sh.down {
 		return RecoveryStats{Shard: i}, nil
@@ -1235,6 +1377,24 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 	if err := s.spawnThreads(sh); err != nil {
 		return RecoveryStats{}, err
 	}
+	stats, err := s.recoverShard(sh)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	sh.down = false
+	return stats, nil
+}
+
+// recoverShard is the recovery core shared by Recover (a crashed shard
+// machine, freshly restarted) and RecoverFront (a crashed front-end
+// machine whose cache held the shards' open batches — see failover.go):
+// resolve the epoch record, revalidate the snapshot, scan the log,
+// truncate, re-persist, rebuild the index, redo lost migration flips and
+// salvage the durable pending tail. The caller has already restarted
+// whatever machine crashed and respawned the shard's workers; clearing
+// sh.down (when set) is also the caller's job.
+func (s *Store) recoverShard(sh *shard) (RecoveryStats, error) {
+	i := sh.id
 	t := sh.thread()
 	appended := len(sh.log)
 	ackedBefore := sh.acked
@@ -1457,8 +1617,12 @@ scan:
 	for slot := pendingStart; slot < cut; slot++ {
 		if r := sh.log[slot]; !r.move && !r.copied {
 			sh.writeLat = append(sh.writeLat, now-r.startNS)
+			sh.issueLat = append(sh.issueLat, r.issueNS-r.startNS)
 			s.ackedWrites++
 			salvaged++
+			if s.rec != nil {
+				s.rec.WriteLatency(now-r.startNS, r.issueNS-r.startNS)
+			}
 		}
 	}
 	for slot := cut; slot < appended; slot++ {
@@ -1475,7 +1639,6 @@ scan:
 	}
 	sh.acked = cut
 	sh.pending = 0
-	sh.down = false
 
 	simNS := s.cluster.NowNS() - start
 	sh.busyNS += simNS
@@ -1519,12 +1682,17 @@ func (s *Store) Metrics() Metrics {
 		RecoveryNS:      append([]float64(nil), s.recoveryNS...),
 		CompactionNS:    append([]float64(nil), s.compactionNS...),
 	}
+	m.PipelinedCommits = s.pipeCommits
+	m.MaxInFlight = s.maxInFlight
 	for _, sh := range s.shards {
 		m.PerShardBusyNS = append(m.PerShardBusyNS, sh.busyNS)
 		m.PerShardChurnNS = append(m.PerShardChurnNS, sh.churnNS)
 		m.PerShardFill = append(m.PerShardFill, float64(len(sh.log))/float64(sh.cap))
 		m.PerShardLive = append(m.PerShardLive, len(sh.index))
 		m.WriteLatencies = append(m.WriteLatencies, sh.writeLat...)
+		m.IssueLatencies = append(m.IssueLatencies, sh.issueLat...)
+		m.PerShardInFlight = append(m.PerShardInFlight, len(sh.flights))
+		m.PerShardAcked = append(m.PerShardAcked, sh.acked)
 	}
 	return m
 }
@@ -1541,10 +1709,12 @@ func (s *Store) ResetMetrics() {
 	s.ackedWrites, s.migrations, s.migratedRecords = 0, 0, 0
 	s.compactions, s.reclaimedSlots = 0, 0
 	s.recoveryNS, s.compactionNS = nil, nil
+	s.pipeCommits, s.maxInFlight = 0, 0
 	for _, sh := range s.shards {
 		sh.busyNS = 0
 		sh.churnNS = 0
 		sh.writeLat = nil
+		sh.issueLat = nil
 	}
 	for i := range s.winBase {
 		s.winBase[i] = 0

@@ -155,6 +155,14 @@ type Event struct {
 	Lost int
 	// Durable reports an op span's ack state at return (Ack.Durable).
 	Durable bool
+	// Depth is a commit event's pipeline occupancy at issue (1 for a
+	// blocking commit; 0 on non-commit events) and QueueNS how long the
+	// batch waited for the shard's flush lane behind earlier in-flight
+	// flushes before its flush started (0 for a blocking commit, whose
+	// span is pure flush). The event's StartNS..EndNS span is the flush
+	// itself; queue wait precedes it.
+	Depth   int
+	QueueNS float64
 	// StartNS and EndNS are simulated nanoseconds; their delta is the
 	// event's simulated cost. Instantaneous events carry StartNS == EndNS.
 	StartNS, EndNS float64
@@ -180,6 +188,8 @@ type eventJSON struct {
 	Acked   int     `json:"acked"`
 	Lost    int     `json:"lost"`
 	Durable bool    `json:"durable"`
+	Depth   int     `json:"depth"`
+	QueueNS float64 `json:"queue_ns"`
 	StartNS float64 `json:"start_ns"`
 	EndNS   float64 `json:"end_ns"`
 }
@@ -191,6 +201,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Span: e.Span, Parent: e.Parent, Cluster: e.Cluster, Shard: e.Shard,
 		Bucket: e.Bucket, From: e.From, To: e.To, Epoch: e.Epoch,
 		N: e.N, Acked: e.Acked, Lost: e.Lost, Durable: e.Durable,
+		Depth: e.Depth, QueueNS: e.QueueNS,
 		StartNS: e.StartNS, EndNS: e.EndNS,
 	})
 }

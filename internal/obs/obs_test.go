@@ -173,7 +173,7 @@ func TestStatsSnapshot(t *testing.T) {
 		rec.OpSpan(OpPut, 1, 0, 2000, 1, 1, true)
 	}
 	rec.OpSpan(OpGet, 0, 0, 500, 1, 0, false)
-	rec.Commit(1, 0, 100, 4, 4)
+	rec.Commit(1, 0, 100, 4, 4, 1, 0)
 	rec.MigrationStep("before-copy", 3, 0, 1, 7, 0)
 	rec.MigrationStep("after-flip", 3, 0, 1, 7, 0)
 	rec.CompactionStep("after-reclaim", 0, 1, 5, 9, 0)
@@ -259,7 +259,8 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	r.OpSpan(OpPut, 0, 0, 1, 1, 1, true)
 	r.FanOut(1, OpScan, 0, 1, 1)
 	r.FanOutLeg(1, OpScan, 0, 0, 1, 1)
-	r.Commit(0, 0, 1, 1, 1)
+	r.Commit(0, 0, 1, 1, 1, 1, 0)
+	r.WriteLatency(1, 1)
 	r.Crash(0, 0)
 	r.Recover(0, 0, 1, 1, 1, 1)
 	r.MigrationStep("after-flip", 0, 0, 1, 1, 0)

@@ -143,19 +143,36 @@ func (r *Recorder) FanOutLeg(parent uint64, op Op, cluster int, startNS, endNS f
 
 // Commit records one commit flush of a shard's open batch: n pending
 // records flushed, acked of them client writes acknowledged at this
-// commit point (migration copy flushes commit with acked 0).
-func (r *Recorder) Commit(shard int, startNS, endNS float64, n, acked int) {
+// commit point (migration copy flushes commit with acked 0). depth is
+// the commit pipeline's occupancy at issue (1 for a blocking commit)
+// and queueNS the batch's wait for the shard's flush lane before the
+// startNS..endNS flush span began (0 for a blocking commit). The
+// queue-wait and flush-span samples feed the commit-latency histograms.
+func (r *Recorder) Commit(shard int, startNS, endNS float64, n, acked, depth int, queueNS float64) {
 	if r == nil {
 		return
 	}
 	if r.stats != nil {
-		r.stats.count(KindCommit)
+		r.stats.recordCommit(queueNS, endNS-startNS)
 	}
 	e := r.base(KindCommit)
 	e.Shard = r.shard(shard)
 	e.N, e.Acked = n, acked
+	e.Depth, e.QueueNS = depth, queueNS
 	e.StartNS, e.EndNS = startNS, endNS
 	r.publish(e)
+}
+
+// WriteLatency records one acknowledged client write's latency pair:
+// ackNS from submit to durable acknowledgment (including any commit-
+// pipeline lane wait) and issueNS from submit to the write path's
+// return. Stats-only — the covering op-span or commit event already
+// represents the write on the bus.
+func (r *Recorder) WriteLatency(ackNS, issueNS float64) {
+	if r == nil || r.stats == nil {
+		return
+	}
+	r.stats.recordWrite(ackNS, issueNS)
 }
 
 // Crash records a shard machine failure.

@@ -109,6 +109,14 @@ type Stats struct {
 	perOp    [numOps]Hist
 	rates    [numOps]rateWindow
 	perShard map[int][numOps]*Hist
+	// Write-latency split (Recorder.WriteLatency): submit-to-durable-ack
+	// vs submit-to-return per acknowledged write. With the commit
+	// pipeline off the two nearly coincide; the gap is what pipelining
+	// buys (see docs/pipeline.md).
+	writeAck, writeIssue Hist
+	// Commit-latency split (Recorder.Commit): flush-lane queue wait vs
+	// the flush span itself, per commit flush.
+	commitQueue, commitFlush Hist
 }
 
 // NewStats returns an empty aggregate on the real host clock.
@@ -146,6 +154,24 @@ func (s *Stats) count(k Kind) {
 	s.kinds[k]++
 }
 
+// recordWrite feeds one acknowledged write's ack/issue latency pair.
+func (s *Stats) recordWrite(ackNS, issueNS float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeAck.add(ackNS)
+	s.writeIssue.add(issueNS)
+}
+
+// recordCommit counts one commit flush and feeds its queue-wait and
+// flush-span samples.
+func (s *Stats) recordCommit(queueNS, flushNS float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kinds[KindCommit]++
+	s.commitQueue.add(queueNS)
+	s.commitFlush.add(flushNS)
+}
+
 // OpSnapshot is one op type's aggregate: sample count, rolling host-rate
 // and simulated-latency percentiles.
 type OpSnapshot struct {
@@ -170,6 +196,12 @@ type Snapshot struct {
 	// shard-routable ops down by global shard index.
 	Ops    []OpSnapshot    `json:"ops"`
 	Shards []ShardSnapshot `json:"shards"`
+	// WriteLat splits acknowledged writes' latency into the "ack"
+	// (submit to durable ack) and "issue" (submit to return) rows, and
+	// CommitLat splits commit flushes into their "queue" (flush-lane
+	// wait) and "flush" (the flush span) rows. Omitted with no samples.
+	WriteLat  []OpSnapshot `json:"write_latency,omitempty"`
+	CommitLat []OpSnapshot `json:"commit_latency,omitempty"`
 	// Completed-event counters: operation spans, commit flushes,
 	// completed migrations ("after-flip") and compactions
 	// ("after-reclaim"), crashes, recoveries, rebalance decisions, and
@@ -187,8 +219,15 @@ type Snapshot struct {
 }
 
 func opSnapshot(op Op, h *Hist, rate float64) OpSnapshot {
+	return histSnapshot(op.String(), h, rate)
+}
+
+// histSnapshot renders one histogram under an arbitrary row label —
+// opSnapshot's core, shared with the non-op rows (write/commit latency
+// splits).
+func histSnapshot(label string, h *Hist, rate float64) OpSnapshot {
 	return OpSnapshot{
-		Op:         op.String(),
+		Op:         label,
 		Count:      h.N(),
 		RatePerSec: rate,
 		MeanNS:     h.Mean(),
@@ -221,6 +260,18 @@ func (s *Stats) Snapshot() Snapshot {
 			continue
 		}
 		snap.Ops = append(snap.Ops, opSnapshot(op, &s.perOp[op], s.rates[op].perSec(now)))
+	}
+	if s.writeAck.N() > 0 {
+		snap.WriteLat = []OpSnapshot{
+			histSnapshot("ack", &s.writeAck, 0),
+			histSnapshot("issue", &s.writeIssue, 0),
+		}
+	}
+	if s.commitFlush.N() > 0 {
+		snap.CommitLat = []OpSnapshot{
+			histSnapshot("queue", &s.commitQueue, 0),
+			histSnapshot("flush", &s.commitFlush, 0),
+		}
 	}
 	shards := make([]int, 0, len(s.perShard))
 	for id := range s.perShard {

@@ -697,6 +697,56 @@ func (r *Router) Rebalance() ([]kv.MigrationStats, error) {
 	return all, nil
 }
 
+// CrashFront fails every cluster's front-end machine — the pooled
+// analogue of one coordinator process dying: each cluster's data plane
+// fails with kv.ErrFrontDown until RecoverFront.
+func (r *Router) CrashFront() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, st := range r.stores {
+		st.CrashFront()
+	}
+}
+
+// RecoverFront restarts every cluster's front end and re-attaches its
+// shards by replaying their durable logs, returning the union of
+// per-shard stats with shard indices lifted to the global space. On a
+// cluster's error the earlier clusters stay recovered (their stats are
+// returned) and the failing cluster's front stays down — retry after
+// addressing the error.
+func (r *Router) RecoverFront() ([]kv.RecoveryStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var all []kv.RecoveryStats
+	for c, st := range r.stores {
+		stats, err := st.RecoverFront()
+		for i := range stats {
+			stats[i].Shard = r.globalShard(c, stats[i].Shard)
+		}
+		all = append(all, stats...)
+		if err != nil {
+			return all, clusterErr(c, err)
+		}
+	}
+	return all, nil
+}
+
+// FrontDown reports whether any cluster's front end is currently
+// crashed (after CrashFront: all of them, until RecoverFront).
+func (r *Router) FrontDown() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, st := range r.stores {
+		if st.FrontDown() {
+			return true
+		}
+	}
+	return false
+}
+
+// Router implements the optional front-end failover surface by fan-out.
+var _ kv.FrontRecoverer = (*Router)(nil)
+
 // Metrics aggregates every cluster's snapshot: counters summed, per-shard
 // series concatenated in global shard order, latency and recovery samples
 // pooled, plus the router's own ScanDiscardedPairs. kv.Metrics' derived
@@ -735,6 +785,13 @@ func (r *Router) Metrics() kv.Metrics {
 		agg.PerShardFill = append(agg.PerShardFill, m.PerShardFill...)
 		agg.PerShardLive = append(agg.PerShardLive, m.PerShardLive...)
 		agg.WriteLatencies = append(agg.WriteLatencies, m.WriteLatencies...)
+		agg.IssueLatencies = append(agg.IssueLatencies, m.IssueLatencies...)
+		agg.PipelinedCommits += m.PipelinedCommits
+		if m.MaxInFlight > agg.MaxInFlight {
+			agg.MaxInFlight = m.MaxInFlight
+		}
+		agg.PerShardInFlight = append(agg.PerShardInFlight, m.PerShardInFlight...)
+		agg.PerShardAcked = append(agg.PerShardAcked, m.PerShardAcked...)
 	}
 	agg.ScanDiscardedPairs += r.scanDiscarded.Load()
 	return agg

@@ -155,6 +155,22 @@ type Result struct {
 
 	// Commits is the number of committed batches (batched strategies only).
 	Commits uint64 `json:"commits,omitempty"`
+
+	// Commit pipeline (kv.Config.PipelineDepth > 1 under a batched
+	// strategy). Every field is omitted at depth 1, so pipeline-off rows
+	// keep the pre-pipeline schema byte for byte. The Ack percentiles
+	// are acknowledged writes' submit-to-durable-ack latencies
+	// (including flush-lane queue wait) and the Issue percentiles the
+	// same writes' submit-to-return latencies; the gap between the two
+	// distributions is the commit cost the pipeline moved off the
+	// client's critical path.
+	PipelineDepth int     `json:"pipeline_depth,omitempty"`
+	AckP50NS      float64 `json:"ack_p50_ns,omitempty"`
+	AckP95NS      float64 `json:"ack_p95_ns,omitempty"`
+	AckP99NS      float64 `json:"ack_p99_ns,omitempty"`
+	IssueP50NS    float64 `json:"issue_p50_ns,omitempty"`
+	IssueP95NS    float64 `json:"issue_p95_ns,omitempty"`
+	IssueP99NS    float64 `json:"issue_p99_ns,omitempty"`
 }
 
 // Run executes one workload against one service configuration, driving
@@ -354,6 +370,19 @@ func Run(o Options) (Result, error) {
 	res.P95NS = percentile(lat, 95)
 	res.P99NS = percentile(lat, 99)
 	res.MaxNS = percentile(lat, 100)
+	if cfg.Strategy.Batched() && cfg.PipelineDepth > 1 {
+		res.PipelineDepth = cfg.PipelineDepth
+		ackLat := append([]float64(nil), m.WriteLatencies...)
+		sort.Float64s(ackLat)
+		issueLat := append([]float64(nil), m.IssueLatencies...)
+		sort.Float64s(issueLat)
+		res.AckP50NS = percentile(ackLat, 50)
+		res.AckP95NS = percentile(ackLat, 95)
+		res.AckP99NS = percentile(ackLat, 99)
+		res.IssueP50NS = percentile(issueLat, 50)
+		res.IssueP95NS = percentile(issueLat, 95)
+		res.IssueP99NS = percentile(issueLat, 99)
+	}
 	res.Recoveries = int(m.Recoveries)
 	res.RecordsLost = recoveryLost
 	res.DroppedPending = int(m.DroppedPending)
