@@ -112,7 +112,7 @@ func run() error {
 
 	s := &server{
 		db: r, bus: bus, stats: stats,
-		spec: spec, started: time.Now(),
+		spec: spec, started: time.Now(), //cxl0:hostclock — dashboard uptime, not sim state
 		campaign: *campaignF,
 	}
 	for k := 0; k < spec.Keys; k++ {
@@ -207,7 +207,9 @@ func (s *server) drive(ctx context.Context, rate int, seed int64, crashEvery, re
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
-	tick := time.NewTicker(interval)
+	// Paces request injection on the host clock; the workload itself is
+	// seeded and the store's clock is simulated.
+	tick := time.NewTicker(interval) //cxl0:hostclock
 	defer tick.Stop()
 
 	var eng *faults.Engine
@@ -369,7 +371,7 @@ func (s *server) snapshot() metricsSnapshot {
 	var doc metricsSnapshot
 	doc.Workload = s.spec.Name
 	doc.Clusters = s.db.NumClusters()
-	doc.UptimeSec = time.Since(s.started).Seconds()
+	doc.UptimeSec = time.Since(s.started).Seconds() //cxl0:hostclock — dashboard uptime
 	doc.Ops = s.ops.Load()
 	doc.Failed = s.failed.Load()
 	doc.SimNS = s.db.NowNS()

@@ -38,7 +38,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	spec.Keys = 100
-	s := &server{db: r, bus: bus, stats: stats, spec: spec, started: time.Now(), campaign: "partitioned"}
+	s := &server{db: r, bus: bus, stats: stats, spec: spec, started: time.Now(), campaign: "partitioned"} //cxl0:hostclock — dashboard uptime
 	for k := 0; k < spec.Keys; k++ {
 		if _, err := r.Put(core.Val(k), core.Val(k+1)); err != nil {
 			t.Fatal(err)
@@ -91,7 +91,7 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	if len(m1.Shards) != 4 {
 		t.Fatalf("snapshot has %d shard rows, want 4", len(m1.Shards))
 	}
-	time.Sleep(300 * time.Millisecond)
+	time.Sleep(300 * time.Millisecond) //cxl0:hostclock — let the host-clock rolling rate tick
 	m2 := get()
 	if m2.Ops <= m1.Ops {
 		t.Fatalf("ops did not advance: %d -> %d", m1.Ops, m2.Ops)

@@ -1,3 +1,12 @@
 module cxl0
 
 go 1.24
+
+// The analysis framework is the repo's first external dependency. The
+// build environment has no module proxy, so an API-compatible offline
+// subset lives under third_party/xtools (see its README.md) and is
+// wired in with a replace; deleting the replace and running `go mod
+// tidy` switches to the real upstream module.
+require golang.org/x/tools v0.24.0
+
+replace golang.org/x/tools => ./third_party/xtools

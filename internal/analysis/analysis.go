@@ -1,0 +1,25 @@
+// Package analysis collects the cxl0 static-analysis suite: the
+// go/analysis passes that mechanically enforce the simulator's
+// determinism and protocol invariants. cmd/cxl0-lint is the multichecker
+// binary over exactly this set; docs/analysis.md is the rule catalog.
+package analysis
+
+import (
+	xanalysis "golang.org/x/tools/go/analysis"
+
+	"cxl0/internal/analysis/errtaxonomy"
+	"cxl0/internal/analysis/guardedby"
+	"cxl0/internal/analysis/simdeterminism"
+	"cxl0/internal/analysis/strategyswitch"
+)
+
+// All returns the full cxl0 analyzer suite, in the order cxl0-lint runs
+// it.
+func All() []*xanalysis.Analyzer {
+	return []*xanalysis.Analyzer{
+		simdeterminism.Analyzer,
+		errtaxonomy.Analyzer,
+		strategyswitch.Analyzer,
+		guardedby.Analyzer,
+	}
+}

@@ -1,0 +1,98 @@
+// Package annot parses the //cxl0: source annotations the analyzers in
+// internal/analysis understand. An annotation is a line comment of the
+// form
+//
+//	//cxl0:NAME [args...] [— free-form rationale]
+//
+// attached either to a declaration's doc/line comment group (fields,
+// functions) or positionally: on the same line as the construct it
+// allows, or on the line immediately above it. docs/analysis.md is the
+// annotation catalog.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Ann is one parsed //cxl0: annotation.
+type Ann struct {
+	Name string // e.g. "hostclock", "guarded-by"
+	Args string // text after the name, e.g. the mutex field name
+	Line int
+}
+
+// parse extracts the annotation from one comment's text, if any.
+func parse(text string) (name, args string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//cxl0:")
+	if !found {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	return fields[0], strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])), true
+}
+
+// In scans a comment group (a declaration's Doc or a field's trailing
+// Comment) for the named annotation and returns its args.
+func In(groups []*ast.CommentGroup, name string) (args string, ok bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if n, a, found := parse(c.Text); found && n == name {
+				return a, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Index is the positional annotation index of a set of files: every
+// //cxl0: comment, keyed by file and line.
+type Index struct {
+	fset   *token.FileSet
+	byFile map[string]map[int][]Ann
+}
+
+// Gather indexes every //cxl0: annotation in the files.
+func Gather(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, byFile: map[string]map[int][]Ann{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, args, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := ix.byFile[posn.Filename]
+				if lines == nil {
+					lines = map[int][]Ann{}
+					ix.byFile[posn.Filename] = lines
+				}
+				lines[posn.Line] = append(lines[posn.Line], Ann{Name: name, Args: args, Line: posn.Line})
+			}
+		}
+	}
+	return ix
+}
+
+// Allows reports whether the named annotation covers pos: it sits on
+// the same line or on the line immediately above.
+func (ix *Index) Allows(pos token.Pos, name string) bool {
+	posn := ix.fset.Position(pos)
+	lines := ix.byFile[posn.Filename]
+	for _, line := range [2]int{posn.Line, posn.Line - 1} {
+		for _, a := range lines[line] {
+			if a.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

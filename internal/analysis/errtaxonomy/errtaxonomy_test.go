@@ -1,0 +1,14 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"cxl0/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errtaxonomy.Analyzer,
+		"cxl0/internal/kv", "cxl0/internal/tools")
+}

@@ -1,0 +1,28 @@
+// Package kv is a raise-site fixture for the errtaxonomy analyzer.
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrThing is a taxonomy sentinel: package-level errors.New declarations
+// ARE the taxonomy and stay allowed.
+var ErrThing = errors.New("kv: thing")
+
+func raise(i int) error {
+	switch i {
+	case 0:
+		return errors.New("boom") // want `errors\.New inside a function`
+	case 1:
+		return fmt.Errorf("shard %d broke", i) // want `fmt\.Errorf without %w`
+	case 2:
+		return fmt.Errorf("shard %d: %w", i, ErrThing) // ok: wraps a sentinel
+	case 3:
+		format := "not even a verb"
+		return fmt.Errorf(format) // want `non-constant format`
+	case 4:
+		return errors.New("usage: fixture [flags]") //cxl0:adhoc-error — CLI usage, not protocol surface
+	}
+	return nil
+}

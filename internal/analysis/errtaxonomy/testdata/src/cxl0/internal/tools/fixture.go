@@ -1,0 +1,9 @@
+// Package tools is outside the checked package set: ad-hoc errors are
+// fine here and the analyzer must stay silent.
+package tools
+
+import "errors"
+
+func raise() error {
+	return errors.New("anything goes")
+}

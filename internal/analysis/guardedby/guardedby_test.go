@@ -1,0 +1,14 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"cxl0/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer,
+		"cxl0/internal/kv")
+}

@@ -1,0 +1,55 @@
+// Package kv is a lock-discipline fixture for the guardedby analyzer.
+package kv
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//cxl0:guarded-by mu
+	n int
+	// free is unguarded: accessible anywhere.
+	free int
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `n is guarded by mu`
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: lock held (the deferred Unlock releases after return)
+}
+
+func (c *counter) Sloppy() {
+	c.mu.Lock()
+	c.n++ // ok: inside the held region
+	c.mu.Unlock()
+	c.n++ // want `n is guarded by mu`
+}
+
+// bumpLocked relies on the caller-holds suffix convention.
+func (c *counter) bumpLocked() { c.n++ }
+
+// bumpContract documents the same contract by annotation.
+//
+//cxl0:locked mu
+func (c *counter) bumpContract() { c.n++ }
+
+func (c *counter) Free() int { return c.free } // ok: unguarded field
+
+type rw struct {
+	mu sync.RWMutex
+	//cxl0:guarded-by mu
+	v int
+}
+
+func (r *rw) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v // ok: reader lock counts
+}
+
+func (r *rw) Leak() int {
+	return r.v // want `v is guarded by mu`
+}

@@ -1,0 +1,14 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"cxl0/internal/analysis/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), simdeterminism.Analyzer,
+		"cxl0/internal/kv", "cxl0/internal/obs", "cxl0/internal/tools")
+}

@@ -1,0 +1,35 @@
+// Package kv is a sim-path fixture for the simdeterminism analyzer:
+// every rule applies here.
+package kv
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sim exercises the host-clock, global-RNG and map-iteration rules.
+func Sim() int {
+	_ = time.Now()   // want `time\.Now reads the host clock`
+	time.Sleep(0)    // want `time\.Sleep reads the host clock`
+	d := time.Second // ok: pure arithmetic, no clock read
+	_ = d
+
+	n := rand.Intn(10) // want `rand\.Intn draws from the global math/rand source`
+	rand.Seed(7)       // want `rand\.Seed draws from the global math/rand source`
+	r := rand.New(rand.NewSource(42))
+	n += r.Intn(10) // ok: seeded, locally-owned generator
+
+	m := map[int]int{1: 1, 2: 2}
+	sum := 0
+	for k := range m { // want `map iteration order is randomized per run`
+		sum += k
+	}
+	//cxl0:order-insensitive — commutative sum, no ordering escapes
+	for k, v := range m {
+		sum += k * v
+	}
+	for i := range []int{1, 2, 3} { // ok: slice iteration is ordered
+		sum += i
+	}
+	return n + sum
+}

@@ -1,0 +1,18 @@
+// Package obs is a host-boundary fixture for the simdeterminism
+// analyzer: the clock and RNG rules apply (with //cxl0:hostclock
+// escapes expected), the map-iteration rule does not.
+package obs
+
+import "time"
+
+// Host reads the host clock for host-visible output.
+func Host() int {
+	_ = time.Now()  // want `time\.Now reads the host clock`
+	t := time.Now() //cxl0:hostclock — rolling host-rate window
+	m := map[int]int{1: 1}
+	sum := 0
+	for k := range m { // ok: feeds host-visible output only
+		sum += k
+	}
+	return sum + t.Nanosecond()
+}

@@ -1,0 +1,19 @@
+// Package tools is outside both the sim-path and host-boundary sets:
+// the analyzer must stay silent here.
+package tools
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Free may do all of it.
+func Free() int {
+	_ = time.Now()
+	n := rand.Intn(10)
+	m := map[int]int{1: 1}
+	for k := range m {
+		n += k
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+package strategyswitch_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"cxl0/internal/analysis/strategyswitch"
+)
+
+func TestStrategySwitch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), strategyswitch.Analyzer,
+		"cxl0/internal/kv")
+}

@@ -1,0 +1,61 @@
+// Package kv is an enum-switch fixture for the strategyswitch analyzer.
+// The Strategy type here stands in for the real kv.Strategy: the
+// analyzer matches switches by the qualified type name, which this
+// GOPATH fixture reproduces exactly.
+package kv
+
+// Strategy mirrors the real enum's shape.
+type Strategy int
+
+const (
+	// MStoreEach is the first enumerator.
+	MStoreEach Strategy = iota
+	// StoreFlush is the second.
+	StoreFlush
+	// GroupCommit is the third.
+	GroupCommit
+)
+
+// numStrategies is a count sentinel, not an enumerator: exhaustive
+// switches need not cover it.
+const numStrategies Strategy = 3
+
+// _ is blank and likewise not an enumerator.
+const _ Strategy = 99
+
+func incomplete(s Strategy) int {
+	switch s { // want `switch over cxl0/internal/kv\.Strategy is not exhaustive: missing GroupCommit`
+	case MStoreEach:
+		return 1
+	case StoreFlush:
+		return 2
+	}
+	return 0
+}
+
+func exhaustive(s Strategy) int {
+	switch s { // ok: every enumerator covered (sentinels excluded)
+	case MStoreEach, StoreFlush:
+		return 1
+	case GroupCommit:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(s Strategy) int {
+	switch s { // ok: the default decides what a new enumerator means here
+	case MStoreEach:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func otherType(n int) int {
+	switch n { // ok: not a tracked enum
+	case 1:
+		return 1
+	}
+	return 0
+}

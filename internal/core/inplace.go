@@ -92,6 +92,8 @@ func rmwInPlace(s *State, l Label) bool {
 		storeOp = OpRStore
 	case OpMRMW:
 		storeOp = OpMStore
+	default:
+		return false // not an RMW label: no store half to apply
 	}
 	return ApplyInPlace(s, Label{Op: storeOp, M: l.M, Loc: l.Loc, Val: l.New}, Base)
 }

@@ -35,7 +35,7 @@ func TestOpStrings(t *testing.T) {
 		OpLFlush: "LFlush", OpRFlush: "RFlush", OpGPF: "GPF",
 		OpLRMW: "L-RMW", OpRRMW: "R-RMW", OpMRMW: "M-RMW", OpCrash: "E",
 	}
-	for op, s := range want {
+	for op, s := range want { //cxl0:order-insensitive — independent per-op asserts
 		if op.String() != s {
 			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), s)
 		}

@@ -161,6 +161,8 @@ func applyRMW(s *State, l Label) []*State {
 		storeOp = OpRStore
 	case OpMRMW:
 		storeOp = OpMStore
+	default:
+		return nil // not an RMW label: no store half, no successor state
 	}
 	return Apply(s, Label{Op: storeOp, M: l.M, Loc: l.Loc, Val: l.New}, Base)
 }

@@ -195,7 +195,7 @@ func (s *Store) CompactShard(i int) (CompactionStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.shards) {
-		return CompactionStats{}, fmt.Errorf("kv: shard %d out of range [0,%d)", i, len(s.shards))
+		return CompactionStats{}, fmt.Errorf("%w: shard %d not in [0,%d)", ErrOutOfRange, i, len(s.shards))
 	}
 	if s.frontDown {
 		return CompactionStats{}, ErrFrontDown
@@ -255,7 +255,7 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 	// Collect the live set in key order, paying the simulated cost of
 	// reading each value from wherever it lives (log or old snapshot).
 	keys := make([]core.Val, 0, len(sh.index))
-	for k := range sh.index {
+	for k := range sh.index { //cxl0:order-insensitive — collected then sorted below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
@@ -363,13 +363,16 @@ func (s *Store) writeSnapshot(sh *shard, t *memsim.Thread, epoch uint64, live []
 				}
 			}
 		default:
-			err = fmt.Errorf("kv: unknown strategy %v", s.cfg.Strategy)
+			err = fmt.Errorf("%w: %v", ErrUnknownStrategy, s.cfg.Strategy)
 		}
 		if err != nil {
 			return err
 		}
 	}
 	switch s.cfg.Strategy {
+	case MStoreEach, StoreFlush, RStoreFlush:
+		// Per-record strategies persisted every snapshot word in the
+		// loop above; there is no batch flush to issue.
 	case RangedCommit:
 		if len(live) > 0 {
 			if err := t.RFlushRange(sh.snapKeyLoc(epoch, 0), len(live)*recWords); err != nil {

@@ -422,7 +422,7 @@ func TestMigrateAutoCompactsForHeadroom(t *testing.T) {
 	if m := st.Metrics(); m.Compactions < 2 {
 		t.Fatalf("expected both shards to compact for headroom, got %d compactions", m.Compactions)
 	}
-	for k, want := range map[core.Val]core.Val{k0: 24, k1: 123} {
+	for k, want := range map[core.Val]core.Val{k0: 24, k1: 123} { //cxl0:order-insensitive — independent per-key asserts
 		if v, ok, err := st.Get(k); err != nil || !ok || v != want {
 			t.Fatalf("get(%d) = (%d,%v,%v), want %d", k, v, ok, err, want)
 		}
@@ -434,7 +434,7 @@ func TestMigrateAutoCompactsForHeadroom(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for k, want := range map[core.Val]core.Val{k0: 24, k1: 123} {
+	for k, want := range map[core.Val]core.Val{k0: 24, k1: 123} { //cxl0:order-insensitive — independent per-key asserts
 		if v, ok, err := st.Get(k); err != nil || !ok || v != want {
 			t.Fatalf("get(%d) = (%d,%v,%v) after crash sweep, want %d", k, v, ok, err, want)
 		}

@@ -182,6 +182,17 @@ var ErrFrontDown = errors.New("kv: front-end machine is down")
 // recoverable condition.
 var ErrDurabilityViolation = errors.New("kv: durability violation: acknowledged record lost")
 
+// ErrUnknownStrategy is returned when a Config carries (or a name parses
+// to) a Strategy outside the declared set. Raise sites wrap it with the
+// offending value; dispatch switches stay exhaustive, so it can only
+// fire on a Config built with an out-of-range literal.
+var ErrUnknownStrategy = errors.New("kv: unknown strategy")
+
+// ErrOutOfRange is returned when a caller-supplied shard or bucket index
+// is outside the store's topology (control-plane methods like
+// CompactShard and MigrateBucket take raw indices).
+var ErrOutOfRange = errors.New("kv: index out of range")
+
 // Strategy selects how writes reach persistence and when they are
 // acknowledged.
 type Strategy int
@@ -227,7 +238,7 @@ func ParseStrategy(name string) (Strategy, error) {
 			return Strategy(i), nil
 		}
 	}
-	return 0, fmt.Errorf("kv: unknown strategy %q (want one of %v)", name, Strategies)
+	return 0, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownStrategy, name, Strategies)
 }
 
 // Durable reports whether a write is persistent — and therefore

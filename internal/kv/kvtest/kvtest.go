@@ -53,6 +53,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("AutoCompactCapacity", func(t *testing.T) { testAutoCompactCapacity(t, f) })
 	t.Run("BadArguments", func(t *testing.T) { testBadArguments(t, f) })
 	t.Run("ObservabilityAgreement", func(t *testing.T) { testObservabilityAgreement(t, f) })
+	t.Run("DeterministicReplay", func(t *testing.T) { DeterministicReplay(t, f) })
 }
 
 func cfgFor(strat kv.Strategy) kv.Config {

@@ -1,0 +1,183 @@
+package kvtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cxl0/internal/core"
+	"cxl0/internal/kv"
+	"cxl0/internal/obs"
+	"cxl0/internal/workload"
+)
+
+// DeterministicReplay pins the simulator's replay-determinism invariant
+// at the service level: driving the same seeded workload against two
+// fresh DBs from the same factory must produce byte-identical outcomes —
+// every per-operation result, the final Metrics document (as JSON), and
+// the complete observability event stream (sequence numbers, spans and
+// simulated timestamps included).
+//
+// This is the dynamic counterpart of the simdeterminism analyzer
+// (cmd/cxl0-lint): the analyzer forbids the usual divergence sources
+// (host clocks, global RNG, map-iteration order) in sim-path packages
+// statically; this case catches whatever slips past it — an annotated
+// site that was not order-insensitive after all, or nondeterminism the
+// rules do not model. The run deliberately crosses the churn paths where
+// iteration order is easiest to leak: crash/recovery, partition/heal,
+// bucket rebalancing and log compaction.
+func DeterministicReplay(t *testing.T, f Factory) {
+	cases := []struct {
+		name  string
+		strat kv.Strategy
+		depth int
+	}{
+		// One per-operation strategy and one batched strategy through the
+		// asynchronous commit pipeline: between them they cross every
+		// append, commit, shadow-map and retire path.
+		{"MStoreEach", kv.MStoreEach, 0},
+		{"RangedCommit/pipelined", kv.RangedCommit, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			first := replayRun(t, f, c.strat, c.depth)
+			second := replayRun(t, f, c.strat, c.depth)
+			compareReplay(t, "operation results", first.results, second.results)
+			compareReplay(t, "metrics", first.metrics, second.metrics)
+			compareReplay(t, "event stream", first.events, second.events)
+		})
+	}
+}
+
+// replayOutcome is everything one replay run produced, each part
+// rendered to a deterministic textual form for byte comparison.
+type replayOutcome struct {
+	results string
+	metrics string
+	events  string
+}
+
+// replayRun drives one seeded workload against a fresh DB and renders
+// the outcome. Every run performs exactly the same call sequence —
+// including the fault, rebalance and compaction churn at fixed operation
+// indices — so any divergence between two runs is the DB's, not the
+// driver's.
+func replayRun(t *testing.T, f Factory, strat kv.Strategy, depth int) replayOutcome {
+	t.Helper()
+	cfg := kv.Config{
+		Shards: 2, Strategy: strat, Batch: 4, Seed: 21, EvictEvery: 3,
+		// Small logs plus auto-compaction so the run compacts on its own,
+		// on top of the explicit churn below.
+		Capacity: 256, CompactAtFill: 0.6,
+		PipelineDepth: depth,
+	}
+	db := f(t, cfg)
+
+	var events strings.Builder
+	var sub *obs.Sub
+	if o, ok := db.(observable); ok {
+		bus := obs.NewBus(obs.DefaultBusSize)
+		sub = bus.Subscribe()
+		o.Observe(obs.NewRecorder(bus, nil))
+	}
+	drain := func() {
+		if sub == nil {
+			return
+		}
+		for _, e := range sub.Poll(0) {
+			fmt.Fprintf(&events, "%+v\n", e)
+		}
+	}
+
+	spec := workload.Spec{
+		Name: "replay", ReadPct: 40, UpdatePct: 30, InsertPct: 20, ScanPct: 10,
+		Dist: workload.Zipfian, Keys: 64, MaxScanLen: 8,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(spec, 7)
+
+	var results strings.Builder
+	record := func(format string, args ...interface{}) {
+		fmt.Fprintf(&results, format+"\n", args...)
+	}
+
+	for k := core.Val(0); k < core.Val(spec.Keys); k++ {
+		ack, err := db.Put(k, k+1)
+		record("preload %d: %+v %v", k, ack, err)
+	}
+
+	const ops = 320
+	for i := 0; i < ops; i++ {
+		// Deterministic churn at fixed indices: a partition window, a
+		// crash/recovery, a rebalance and an explicit compaction. Errors
+		// are recorded, not fatal — a Put denied by the partition window
+		// is part of the outcome being compared.
+		switch i {
+		case 120:
+			db.Partition(i % db.NumShards())
+		case 160:
+			db.Heal(120 % db.NumShards())
+		case 200:
+			sh := i % db.NumShards()
+			db.Crash(sh)
+			stats, err := db.Recover(sh)
+			record("churn recover %d: %+v %v", sh, stats, err)
+		case 240:
+			moves, err := db.Rebalance()
+			record("churn rebalance: %+v %v", moves, err)
+		case 280:
+			stats, err := db.Compact()
+			record("churn compact: %+v %v", stats, err)
+		}
+
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpRead:
+			v, ok, err := db.Get(core.Val(op.Key))
+			record("op %d get %d: %d %v %v", i, op.Key, v, ok, err)
+		case workload.OpUpdate, workload.OpInsert:
+			ack, err := db.Put(core.Val(op.Key), core.Val(op.Value))
+			record("op %d put %d: %+v %v", i, op.Key, ack, err)
+		case workload.OpScan:
+			pairs, err := db.Scan(core.Val(op.Key), core.Val(op.Key+int64(op.ScanLen)), 0)
+			record("op %d scan %d+%d: %v %v", i, op.Key, op.ScanLen, pairs, err)
+		}
+		if i%16 == 15 {
+			drain()
+		}
+	}
+	if err := db.Sync(); err != nil {
+		record("final sync: %v", err)
+	}
+	drain()
+	if sub != nil {
+		if d := sub.Dropped(); d != 0 {
+			t.Fatalf("subscriber dropped %d events; the stream comparison would be partial — drain more often or grow the bus", d)
+		}
+	}
+
+	doc, err := json.Marshal(db.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replayOutcome{results: results.String(), metrics: string(doc), events: events.String()}
+}
+
+// compareReplay fails with the first divergent line when two renderings
+// of the same replay artifact differ.
+func compareReplay(t *testing.T, what, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			t.Fatalf("%s diverged at line %d:\n  run 1: %s\n  run 2: %s", what, i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s diverged in length: %d vs %d lines", what, len(al), len(bl))
+}

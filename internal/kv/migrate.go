@@ -134,6 +134,8 @@ func (s *Store) stepCheckpoint(step MigrateStep, b, from, to, records int) {
 
 // chargeChurn charges the simulated span since start to shard sh as both
 // busy time and churn — the accounting every migration phase shares.
+//
+//cxl0:locked mu
 func (s *Store) chargeChurn(sh *shard, start float64) {
 	span := s.cluster.NowNS() - start
 	sh.busyNS += span
@@ -146,10 +148,10 @@ func (s *Store) MigrateBucket(b, to int) (MigrationStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if b < 0 || b >= len(s.shardMap) {
-		return MigrationStats{}, fmt.Errorf("kv: bucket %d out of range [0,%d)", b, len(s.shardMap))
+		return MigrationStats{}, fmt.Errorf("%w: bucket %d not in [0,%d)", ErrOutOfRange, b, len(s.shardMap))
 	}
 	if to < 0 || to >= len(s.shards) {
-		return MigrationStats{}, fmt.Errorf("kv: shard %d out of range [0,%d)", to, len(s.shards))
+		return MigrationStats{}, fmt.Errorf("%w: shard %d not in [0,%d)", ErrOutOfRange, to, len(s.shards))
 	}
 	if s.frontDown {
 		return MigrationStats{}, ErrFrontDown
@@ -163,6 +165,8 @@ func (s *Store) MigrateBucket(b, to int) (MigrationStats, error) {
 // migrateBucket runs the three-phase protocol described above. The caller
 // holds the store lock and has checked b and to are in range and distinct
 // from the current owner.
+//
+//cxl0:locked mu
 func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	from := s.shardMap[b]
 	src, dst := s.shards[from], s.shards[to]
@@ -198,7 +202,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 	// aborts the migration untouched.
 	if s.cfg.CompactAtFill > 0 {
 		need := 0
-		for k := range src.index {
+		for k := range src.index { //cxl0:order-insensitive — pure count, no ordering escapes
 			if s.bucketOf(k) == b {
 				need++
 			}
@@ -226,7 +230,7 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 		val  core.Val
 	}
 	var pairs []pair
-	for k, slot := range src.index {
+	for k, slot := range src.index { //cxl0:order-insensitive — collected then sorted by slot below
 		if s.bucketOf(k) == b {
 			pairs = append(pairs, pair{slot: slot, key: k})
 		}
@@ -353,6 +357,8 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 // checksums are zeroed (they can never validate again) and the mirror
 // rolls back; when it is down the mirror must keep the slots so the
 // destination's own recovery scans, truncates and retires them.
+//
+//cxl0:locked mu
 func (s *Store) abortCopies(dst *shard, preLen int, cause error) error {
 	if dst.down {
 		return cause
@@ -377,7 +383,7 @@ func (s *Store) abortCopies(dst *shard, preLen int, cause error) error {
 // The replay applies the same wipe rule as recovery's full rebuild, via
 // the shared replayRecord.
 func (s *Store) reindexBucket(dst *shard, b int) {
-	for k := range dst.index {
+	for k := range dst.index { //cxl0:order-insensitive — uniform delete, order-free
 		if s.bucketOf(k) == b {
 			delete(dst.index, k)
 		}
@@ -451,7 +457,7 @@ func (s *Store) rebalanceLocked() ([]MigrationStats, error) {
 		// destination-headroom check below (rebuilt per move: each
 		// migration changes the indexes).
 		counts := map[int]int{}
-		for k := range s.shards[hot].index {
+		for k := range s.shards[hot].index { //cxl0:order-insensitive — pure counting
 			counts[s.bucketOf(k)]++
 		}
 		// Hottest bucket on the hot shard whose move strictly lowers the
@@ -501,6 +507,8 @@ func (s *Store) rebalanceLocked() ([]MigrationStats, error) {
 }
 
 // snapshotWindow starts a fresh rebalance measurement window.
+//
+//cxl0:locked mu
 func (s *Store) snapshotWindow() {
 	for i, sh := range s.shards {
 		s.winBase[i] = sh.busyNS - sh.churnNS

@@ -176,7 +176,7 @@ func TestObserveEventStream(t *testing.T) {
 	// The stats side saw the same traffic.
 	snap := s.rec.Stats().Snapshot()
 	totalSpans := 0
-	for _, n := range byOp {
+	for _, n := range byOp { //cxl0:order-insensitive — commutative sum
 		totalSpans += n
 	}
 	if snap.OpSpans != uint64(totalSpans) {

@@ -86,6 +86,8 @@ func (s *Store) pipelined() bool {
 // append of slot lands in the index, so watermark-gated reads keep
 // serving the acked state until the covering flight retires. Called
 // only on the pipelined path, before the index update.
+//
+//cxl0:locked mu
 func (s *Store) shadowTrack(sh *shard, key core.Val, slot int) {
 	if e, ok := sh.shadow[key]; ok {
 		e.newest = slot
@@ -106,6 +108,8 @@ func (s *Store) shadowTrack(sh *shard, key core.Val, slot int) {
 // plain salvage — but its cost lands on the shard's flush lane; the
 // shard's busy clock only absorbs it if the pipeline is already full
 // (stallRetire) or a drain point forces it (drainFlights).
+//
+//cxl0:locked mu
 func (s *Store) issueFlight(sh *shard) error {
 	if sh.pending == 0 {
 		return nil
@@ -203,6 +207,8 @@ func (s *Store) issueFlight(sh *shard) error {
 // wait; issue latency was recorded at append), and the shadow map
 // catches up — entries whose newest record the watermark just passed
 // die, the rest advance to their newest record at or below it.
+//
+//cxl0:locked mu
 func (s *Store) retireFlight(sh *shard) {
 	f := sh.flights[0]
 	sh.flights = sh.flights[1:]
@@ -249,6 +255,8 @@ func (s *Store) retireFlight(sh *shard) {
 // retireReady retires every flight whose completion point the shard's
 // busy clock has already passed — flushes that fully overlapped other
 // work. Called at operation entry on the pipelined path; free.
+//
+//cxl0:locked mu
 func (s *Store) retireReady(sh *shard) {
 	for len(sh.flights) > 0 && sh.flights[0].endBusy <= sh.busyNS {
 		s.retireFlight(sh)
@@ -258,6 +266,8 @@ func (s *Store) retireReady(sh *shard) {
 // stallRetire force-retires the oldest flight, stalling the shard's
 // busy clock to the flight's completion point first: the pipeline is
 // full (or draining), so the remaining flush cost surfaces as wait.
+//
+//cxl0:locked mu
 func (s *Store) stallRetire(sh *shard) {
 	if f := sh.flights[0]; f.endBusy > sh.busyNS {
 		sh.busyNS = f.endBusy
@@ -269,6 +279,8 @@ func (s *Store) stallRetire(sh *shard) {
 // pipeline's barrier, run at every drain point (Sync, Apply's commit,
 // compaction, migration, recovery re-entry) before the open batch is
 // committed.
+//
+//cxl0:locked mu
 func (s *Store) drainFlights(sh *shard) {
 	for len(sh.flights) > 0 {
 		s.stallRetire(sh)

@@ -19,15 +19,23 @@ import (
 // not the full log — and adds in-flight-depth crash points plus front
 // crashes to the crash sweep.
 
+// flightsLen reads a shard's in-flight flush count under the store
+// lock. Tests peek at pipeline internals between operations, and the
+// guardedby discipline applies to them like any other caller.
+func flightsLen(st *Store, shard int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.shards[shard].flights)
+}
+
 // pumpToDepth overwrites keys 0..maxKey round-robin on a 1-shard store
 // until the pipeline holds exactly want in-flight flushes, mirroring the
 // writes into mlog. Fails the test if depth never stacks.
 func pumpToDepth(t *testing.T, st *Store, mlog *[]modelOp, maxKey core.Val, want int) {
 	t.Helper()
-	sh := st.shards[0]
-	for i := 0; len(sh.flights) < want; i++ {
+	for i := 0; flightsLen(st, 0) < want; i++ {
 		if i > 300 {
-			t.Fatalf("pipeline never reached depth %d (at %d after %d writes)", want, len(sh.flights), i)
+			t.Fatalf("pipeline never reached depth %d (at %d after %d writes)", want, flightsLen(st, 0), i)
 		}
 		k := core.Val(i) % (maxKey + 1)
 		v := core.Val(2000 + i)
@@ -70,9 +78,11 @@ func TestPipelineCrashAtDepth(t *testing.T) {
 					}
 					pumpToDepth(t, st, &mlog, maxKey, depth)
 
-					sh := st.shards[0]
 					ackedBefore := st.AckedCount(0)
+					st.mu.Lock()
+					sh := st.shards[0]
 					flushedThrough := sh.flights[len(sh.flights)-1].limit
+					st.mu.Unlock()
 					if flushedThrough <= ackedBefore {
 						t.Fatalf("no unretired flushed records: acked %d, flushed through %d", ackedBefore, flushedThrough)
 					}
@@ -522,9 +532,9 @@ func TestPipelinePartitionWhileInFlight(t *testing.T) {
 		k0 := keysOn(st, 0)
 		writes := 0
 		// Stack flights on shard 0, then cut shard 1 off the fabric.
-		for i := 0; len(st.shards[0].flights) < 2; i++ {
+		for i := 0; flightsLen(st, 0) < 2; i++ {
 			if i > 300 {
-				t.Fatalf("shard 0 never stacked flights (at %d)", len(st.shards[0].flights))
+				t.Fatalf("shard 0 never stacked flights (at %d)", flightsLen(st, 0))
 			}
 			if _, err := st.Put(k0[i%len(k0)], core.Val(1000+i)); err != nil {
 				t.Fatal(err)
@@ -550,7 +560,7 @@ func TestPipelinePartitionWhileInFlight(t *testing.T) {
 		if got := st.AckedCount(0); got != writes {
 			t.Fatalf("shard 0 acked %d of %d writes during the partition", got, writes)
 		}
-		if n := len(st.shards[0].flights); n != 0 {
+		if n := flightsLen(st, 0); n != 0 {
 			t.Fatalf("%d flights still in flight after Sync", n)
 		}
 		st.Heal(1)
@@ -567,9 +577,9 @@ func TestPipelinePartitionWhileInFlight(t *testing.T) {
 		k0 := keysOn(st, 0)
 		// Stack flights on shard 0 (same-shard GPFs stack; only OTHER
 		// shards' flushes cross-retire), then partition shard 1.
-		for i := 0; len(st.shards[0].flights) < 2; i++ {
+		for i := 0; flightsLen(st, 0) < 2; i++ {
 			if i > 300 {
-				t.Fatalf("shard 0 never stacked flights (at %d)", len(st.shards[0].flights))
+				t.Fatalf("shard 0 never stacked flights (at %d)", flightsLen(st, 0))
 			}
 			if _, err := st.Put(k0[i%len(k0)], core.Val(1000+i)); err != nil {
 				t.Fatal(err)
@@ -600,7 +610,7 @@ func TestPipelinePartitionWhileInFlight(t *testing.T) {
 		if err := st.Sync(); err != nil {
 			t.Fatalf("sync after heal: %v", err)
 		}
-		if n := len(st.shards[0].flights); n != 0 {
+		if n := flightsLen(st, 0); n != 0 {
 			t.Fatalf("%d flights in flight after heal+sync", n)
 		}
 		if st.AckedCount(0) != len(st.shards[0].log) {

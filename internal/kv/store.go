@@ -100,9 +100,13 @@ type shard struct {
 	// snap mirrors the committed snapshot's records (slot-ordered live
 	// puts; no tombstones, no markers) and epoch is the committed
 	// snapshot epoch (0 = never compacted).
-	snap    []rec
-	epoch   uint64
-	acked   int    // log records [0, acked) are acknowledged durable
+	snap  []rec
+	epoch uint64
+	// acked is the durability watermark: log records [0, acked) are
+	// acknowledged durable. It anchors the pipelined commit path's
+	// crash-safety argument, so it may only move under the store lock.
+	//cxl0:guarded-by mu
+	acked   int
 	pending int    // batched records awaiting their batch's commit flush
 	batchE  uint64 // shard-machine crash epoch when the open batch began
 	// Asynchronous commit pipeline state (Config.PipelineDepth > 1; see
@@ -110,22 +114,32 @@ type shard struct {
 	// first; laneEnd is the flush lane's frontier in shard-busy-time
 	// coordinates; shadow holds the acked-watermark read state of keys
 	// overwritten past the watermark (nil when empty).
+	//cxl0:guarded-by mu
 	flights []flight
+	//cxl0:guarded-by mu
 	laneEnd float64
-	shadow  map[core.Val]shadowEntry
-	down    bool
+	//cxl0:guarded-by mu
+	shadow map[core.Val]shadowEntry
+	down   bool
 	// partitioned marks the shard's machine as cut off by a fabric
 	// partition: everything is intact but unreachable, so operations fail
 	// with ErrUnavailable (no recovery needed — Heal restores service).
 	partitioned bool
-	busyNS      float64 // simulated time this shard's operations consumed
+	// busyNS is the simulated time this shard's operations consumed.
+	//cxl0:guarded-by mu
+	busyNS float64
 	// churnNS is the part of busyNS spent on crash recovery, bucket
 	// migration and log compaction — exogenous, one-off costs that say
 	// nothing about where traffic is placed. The placement-skew metric and
 	// the rebalancer's load windows exclude it.
-	churnNS  float64
-	writeLat []float64 // ack latencies of acknowledged writes
-	issueLat []float64 // issue (submit-to-return) latencies of the same
+	//cxl0:guarded-by mu
+	churnNS float64
+	// Per-shard write-latency samples: ack latencies of acknowledged
+	// writes and the issue (submit-to-return) latencies of the same.
+	//cxl0:guarded-by mu
+	writeLat []float64
+	//cxl0:guarded-by mu
+	issueLat []float64
 }
 
 func (sh *shard) keyLoc(slot int) core.LocID { return sh.base + core.LocID(slot*recWords) }
@@ -366,7 +380,7 @@ type Store struct {
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Strategy < 0 || int(cfg.Strategy) >= len(strategyNames) {
-		return nil, fmt.Errorf("kv: unknown strategy %v", cfg.Strategy)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownStrategy, cfg.Strategy)
 	}
 	machines := []memsim.MachineConfig{{Name: "front", Mem: core.NonVolatile, Heap: 0}}
 	for i := 0; i < cfg.Shards; i++ {
@@ -560,7 +574,7 @@ func (s *Store) writeRecord(sh *shard, slot int, r rec) error {
 		sh.pending++
 		return nil
 	}
-	return fmt.Errorf("kv: unknown strategy %v", s.cfg.Strategy)
+	return fmt.Errorf("%w: %v", ErrUnknownStrategy, s.cfg.Strategy)
 }
 
 // mstoreWords persists each word with MStore — MStoreEach's per-record
@@ -624,6 +638,8 @@ func lstoreRecord(t *memsim.Thread, sh *shard, slot int, r rec) error {
 // (crash recovery, bucket migration) rather than client traffic, the
 // cross-charge is classified as churn on the stalled shards too, keeping
 // the placement-skew metric clean of it.
+//
+//cxl0:locked mu
 func (s *Store) gpf(sh *shard, t *memsim.Thread, churn bool) error {
 	start := s.cluster.NowNS()
 	if err := t.GPF(); err != nil {
@@ -664,6 +680,8 @@ func (s *Store) rflushSlots(sh *shard, t *memsim.Thread, first, limit int) error
 // advances the acked log position, without any client-acknowledgment
 // bookkeeping. commitLocked layers that on top; bucket migration calls
 // this directly for its copied records (which are not client writes).
+//
+//cxl0:locked mu
 func (s *Store) flushPending(sh *shard) error {
 	if sh.pending == 0 {
 		return nil
@@ -768,6 +786,8 @@ func (s *Store) commitLocked(sh *shard) error {
 }
 
 // append routes one write (val 0 = tombstone) to shard sh.
+//
+//cxl0:locked mu
 func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	if s.frontDown {
 		return Ack{}, ErrFrontDown
@@ -1125,7 +1145,7 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 		if s.pipelined() && !sh.down && !sh.partitioned {
 			s.retireReady(sh)
 		}
-		for k, slot := range sh.index {
+		for k, slot := range sh.index { //cxl0:order-insensitive — candidates sorted by key below
 			if k >= lo && k < hi {
 				// A down shard only fails the scan when it actually holds
 				// keys in range; an idle down shard costs nothing. A
@@ -1155,7 +1175,7 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 		}
 		// Keys deleted past the watermark left the index but their acked
 		// state is still readable — the shadow carries it.
-		for k, e := range sh.shadow {
+		for k, e := range sh.shadow { //cxl0:order-insensitive — candidates sorted by key below
 			if k < lo || k >= hi || !e.exists || sh.down || sh.partitioned {
 				continue
 			}
@@ -1327,7 +1347,7 @@ func (s *Store) replayRecord(index map[core.Val]int, slot int, r rec, onlyBucket
 		if onlyBucket >= 0 && b != onlyBucket {
 			return
 		}
-		for k := range index {
+		for k := range index { //cxl0:order-insensitive — uniform delete, order-free
 			if s.bucketOf(k) == b {
 				delete(index, k)
 			}
@@ -1393,6 +1413,8 @@ func (s *Store) Recover(i int) (RecoveryStats, error) {
 // salvage the durable pending tail. The caller has already restarted
 // whatever machine crashed and respawned the shard's workers; clearing
 // sh.down (when set) is also the caller's job.
+//
+//cxl0:locked mu
 func (s *Store) recoverShard(sh *shard) (RecoveryStats, error) {
 	i := sh.id
 	t := sh.thread()
@@ -1597,7 +1619,7 @@ scan:
 	// Ownership sweep: drop index entries for buckets this shard no
 	// longer serves — records that migrated away, and orphaned copies an
 	// aborted inbound migration left in the log.
-	for k := range sh.index {
+	for k := range sh.index { //cxl0:order-insensitive — uniform delete, order-free
 		if s.shardOf(k) != sh.id {
 			delete(sh.index, k)
 		}

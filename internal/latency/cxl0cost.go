@@ -87,6 +87,11 @@ func (m *Model) CXL0CostCached(op core.Op, local, cached bool) float64 {
 			return loadCost() + localPersist
 		}
 		return loadCost() + remotePersist
+	case core.OpCrash:
+		// A crash is an event, not a fabric command: it costs nothing on
+		// the simulated clock (outage windows are measured by the fault
+		// engine, not priced here).
+		return 0
 	}
 	return 0
 }

@@ -167,7 +167,7 @@ func (c *Cluster) Crash(m core.MachineID) {
 	c.hot[m] = map[core.LocID]bool{}
 	if c.cfg.Variant == core.PSN {
 		for j := range c.hot {
-			for x := range c.hot[j] {
+			for x := range c.hot[j] { //cxl0:order-insensitive — uniform delete, order-free
 				if c.topo.Owner(x) == m {
 					delete(c.hot[j], x)
 				}

@@ -49,7 +49,7 @@ func TestStatsCountPrimitives(t *testing.T) {
 		core.OpMRMW:        1,
 		core.OpMStore:      1,
 	}
-	for op, n := range want {
+	for op, n := range want { //cxl0:order-insensitive — independent per-op asserts
 		if stats[op] != n {
 			t.Errorf("stats[%v] = %d, want %d (all: %v)", op, stats[op], n, stats)
 		}

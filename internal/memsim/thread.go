@@ -126,6 +126,10 @@ func (t *Thread) store(op core.Op, x core.LocID, v core.Val) error {
 		t.c.coolExceptLocked(owner, x)
 	case core.OpMStore:
 		t.c.coolAllLocked(x)
+	default:
+		// Only the three store ops reach this path; a new op added to
+		// the instruction set must decide its hot-line overlay effect
+		// here explicitly.
 	}
 	t.c.chargeLocked(op, t.c.topo.Owner(x), t.Local(x), false)
 	t.c.maybeEvictLocked()
@@ -249,6 +253,9 @@ func (t *Thread) rmwHotLocked(op core.Op, x core.LocID) {
 		t.c.coolExceptLocked(owner, x)
 	case core.OpMRMW:
 		t.c.coolAllLocked(x)
+	default:
+		// Only the three RMW ops have a store half; a new op added to
+		// the instruction set must decide its overlay effect here.
 	}
 }
 

@@ -130,7 +130,8 @@ func (s *Sub) Next(max int, timeout time.Duration) []Event {
 	if evs := s.Poll(max); len(evs) > 0 {
 		return evs
 	}
-	timer := time.NewTimer(timeout)
+	// Wall-clock wait for a publication; events themselves carry sim time.
+	timer := time.NewTimer(timeout) //cxl0:hostclock
 	defer timer.Stop()
 	select {
 	case <-s.notify:

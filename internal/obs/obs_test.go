@@ -85,14 +85,14 @@ func TestBusNextWakesOnPublish(t *testing.T) {
 	sub := b.Subscribe()
 	done := make(chan []Event, 1)
 	go func() { done <- sub.Next(10, 5*time.Second) }()
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) //cxl0:hostclock — test scheduling wait, not sim time
 	b.Publish(Event{N: 42})
 	select {
 	case evs := <-done:
 		if len(evs) != 1 || evs[0].N != 42 {
 			t.Fatalf("Next = %+v, want one event with N 42", evs)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //cxl0:hostclock — test timeout
 		t.Fatal("Next did not wake on publish")
 	}
 	if evs := sub.Next(10, 10*time.Millisecond); evs != nil {

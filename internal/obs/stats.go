@@ -121,7 +121,8 @@ type Stats struct {
 
 // NewStats returns an empty aggregate on the real host clock.
 func NewStats() *Stats {
-	return &Stats{now: time.Now, perShard: map[int][numOps]*Hist{}}
+	// Host-clock rate windows only; never feeds simulated state.
+	return &Stats{now: time.Now, perShard: map[int][numOps]*Hist{}} //cxl0:hostclock
 }
 
 // recordOp feeds one op span's simulated latency (and its host-time rate

@@ -222,7 +222,7 @@ func TestRouterFanOutEvents(t *testing.T) {
 	if len(legs) != 2 {
 		t.Fatalf("legs for clusters %v, want both clusters", legs)
 	}
-	for c, leg := range legs {
+	for c, leg := range legs { //cxl0:order-insensitive — independent per-cluster asserts
 		if leg.Parent != parent.Span {
 			t.Fatalf("cluster %d leg parent = %d, want %d", c, leg.Parent, parent.Span)
 		}
@@ -308,7 +308,7 @@ func TestScanResumeBoundaries(t *testing.T) {
 		uniq[k] = true
 	}
 	var ref []core.Val
-	for k := range uniq {
+	for k := range uniq { //cxl0:order-insensitive — ref is sorted below
 		if k >= 100 && k < 900 {
 			ref = append(ref, k)
 		}

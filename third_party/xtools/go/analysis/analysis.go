@@ -1,0 +1,131 @@
+// Package analysis defines the interface between a modular static
+// analysis and an analysis driver program. It is an API-compatible,
+// offline subset of golang.org/x/tools/go/analysis — see
+// third_party/xtools/README.md for what is and is not included.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// An Analyzer describes an analysis function and its options.
+type Analyzer struct {
+	// Name of the analyzer. Must be a valid Go identifier.
+	Name string
+
+	// Doc is the documentation for the analyzer. The first sentence is
+	// its summary.
+	Doc string
+
+	// URL holds an optional link to the analyzer's documentation.
+	URL string
+
+	// Flags defines any flags accepted by the analyzer.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) (interface{}, error)
+
+	// RunDespiteErrors allows the driver to invoke the analyzer even on
+	// a package that contains type errors.
+	RunDespiteErrors bool
+
+	// Requires lists analyzers that must run before this one and whose
+	// results are available to it via Pass.ResultOf.
+	Requires []*Analyzer
+
+	// ResultType is the type of the optional result of the Run function.
+	ResultType reflect.Type
+
+	// FactTypes must be empty in this subset: facts are not supported.
+	FactTypes []Fact
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides information to an Analyzer's Run function about the
+// package being analyzed, and provides operations for reporting
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset         *token.FileSet
+	Files        []*ast.File
+	OtherFiles   []string
+	IgnoredFiles []string
+	Pkg          *types.Package
+	TypesInfo    *types.Info
+	TypesSizes   types.Sizes
+	TypeErrors   []types.Error
+	Module       *Module
+
+	// Report emits a diagnostic about a problem in the package.
+	Report func(Diagnostic)
+
+	// ResultOf provides the inputs to this analysis that are required by
+	// the Requires field: the results of those analyses on this package.
+	ResultOf map[*Analyzer]interface{}
+
+	// ReadFile returns the contents of the named file.
+	ReadFile func(filename string) ([]byte, error)
+
+	// Fact machinery: present for API compatibility, but inert — facts
+	// are not supported by this subset (see third_party/xtools/README.md).
+	ImportObjectFact  func(obj types.Object, fact Fact) bool
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+	ExportObjectFact  func(obj types.Object, fact Fact)
+	ExportPackageFact func(fact Fact)
+	AllObjectFacts    func() []ObjectFact
+	AllPackageFacts   func() []PackageFact
+}
+
+func (pass *Pass) String() string {
+	return fmt.Sprintf("%s@%s", pass.Analyzer.Name, pass.Pkg.Path())
+}
+
+// Reportf is a helper that reports a Diagnostic with the given position
+// and formatted message.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Range is a source span, e.g. an ast.Node.
+type Range interface {
+	Pos() token.Pos
+	End() token.Pos
+}
+
+// ReportRangef reports a Diagnostic spanning rng with a formatted message.
+func (pass *Pass) ReportRangef(rng Range, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: rng.Pos(), End: rng.End(), Message: fmt.Sprintf(format, args...)})
+}
+
+// Module describes the module to which the package being analyzed
+// belongs.
+type Module struct {
+	Path      string
+	Version   string
+	GoVersion string
+}
+
+// A Fact is an intermediate analysis result. Unsupported in this subset.
+type Fact interface {
+	AFact()
+}
+
+// An ObjectFact is a (types.Object, Fact) pair.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// A PackageFact is a (*types.Package, Fact) pair.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}

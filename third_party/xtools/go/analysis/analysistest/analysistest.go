@@ -1,0 +1,212 @@
+// Package analysistest provides utilities for testing analyzers. It
+// loads fixture packages from a GOPATH-layout testdata/src tree and
+// checks reported diagnostics against `// want "regexp"` expectation
+// comments in the fixture sources.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/internal/checker"
+)
+
+// TestData returns the effective filename of the program's "testdata"
+// directory.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// Testing is an abstraction of a *testing.T.
+type Testing interface {
+	Errorf(format string, args ...interface{})
+}
+
+// A Result holds the result of applying an analyzer to a package.
+type Result struct {
+	Pass        *analysis.Pass
+	Diagnostics []analysis.Diagnostic
+	Result      interface{}
+	Err         error
+}
+
+// Run applies an analyzer to the packages denoted by the patterns,
+// loaded in GOPATH mode from dir (the fixture GOPATH: sources live
+// under dir/src), and checks every diagnostic against the fixtures'
+// `// want` expectations. Expectations in dependency packages not
+// matched by the patterns are ignored, as upstream does.
+func Run(t Testing, dir string, a *analysis.Analyzer, patterns ...string) []*Result {
+	pkgs, err := checker.Load(checker.LoadConfig{
+		Dir: filepath.Join(dir, "src"),
+		Env: []string{
+			"GOPATH=" + dir,
+			"GO111MODULE=off",
+			"GOFLAGS=",
+			"GOPROXY=off",
+		},
+		Patterns: patterns,
+	})
+	if err != nil {
+		t.Errorf("loading fixture packages %v from %s: %v", patterns, dir, err)
+		return nil
+	}
+	if len(pkgs) == 0 {
+		t.Errorf("no fixture packages matched %v in %s", patterns, dir)
+		return nil
+	}
+
+	var results []*Result
+	for _, pkg := range pkgs {
+		diags, err := checker.Run([]*analysis.Analyzer{a}, []*checker.Package{pkg})
+		res := &Result{Err: err}
+		if err != nil {
+			t.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			results = append(results, res)
+			continue
+		}
+		for _, d := range diags {
+			res.Diagnostics = append(res.Diagnostics, d.Diagnostic)
+		}
+		check(t, pkg, res.Diagnostics)
+		results = append(results, res)
+	}
+	return results
+}
+
+// expectation is one `// want` regexp, anchored to a file and line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// check compares diagnostics against the `// want` comments of the
+// fixture package.
+func check(t Testing, pkg *checker.Package, diags []analysis.Diagnostic) {
+	expects := map[key][]*expectation{}
+	for i, f := range pkg.Files {
+		filename := pkg.GoFiles[i]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := wantPayload(c.Text)
+				if !ok {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				res, err := parseExpectations(text)
+				if err != nil {
+					t.Errorf("%s:%d: invalid want comment: %v", filename, posn.Line, err)
+					continue
+				}
+				k := key{filename, posn.Line}
+				expects[k] = append(expects[k], res...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		matched := false
+		for _, exp := range expects[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%v: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	var keys []key
+	for k := range expects {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		for _, exp := range expects[k] {
+			if !exp.matched {
+				t.Errorf("%s:%d: no diagnostic was reported matching %q", k.file, k.line, exp.re.String())
+			}
+		}
+	}
+}
+
+func sortKeys(keys []key) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && (keys[j].file < keys[j-1].file ||
+			(keys[j].file == keys[j-1].file && keys[j].line < keys[j-1].line)); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// wantPayload extracts the text after the "want" keyword of an
+// expectation comment, reporting whether the comment is one.
+func wantPayload(comment string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	if text == comment { // a /* */ comment
+		text = strings.TrimSuffix(strings.TrimPrefix(comment, "/*"), "*/")
+	}
+	text = strings.TrimSpace(text)
+	rest := strings.TrimPrefix(text, "want")
+	if rest == text || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// parseExpectations parses a sequence of quoted regexps: "..." (with Go
+// escapes) or `...`.
+func parseExpectations(text string) ([]*expectation, error) {
+	var out []*expectation
+	for text != "" {
+		var lit string
+		switch text[0] {
+		case '"':
+			end := 1
+			for end < len(text) && (text[end] != '"' || text[end-1] == '\\') {
+				end++
+			}
+			if end == len(text) {
+				return nil, fmt.Errorf("unterminated %q", text)
+			}
+			unq, err := strconv.Unquote(text[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			lit, text = unq, text[end+1:]
+		case '`':
+			end := strings.IndexByte(text[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", text)
+			}
+			lit, text = text[1:1+end], text[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", text)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &expectation{re: re})
+		text = strings.TrimSpace(text)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "go/token"
+
+// A Diagnostic is a message associated with a source location or range.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional
+	Message  string
+
+	// URL is the optional location of a web page that explains the
+	// diagnostic.
+	URL string
+
+	// SuggestedFixes is an optional list of fixes to address the problem.
+	SuggestedFixes []SuggestedFix
+
+	// Related contains optional secondary positions and messages.
+	Related []RelatedInformation
+}
+
+// RelatedInformation contains information related to a diagnostic.
+type RelatedInformation struct {
+	Pos     token.Pos
+	End     token.Pos
+	Message string
+}
+
+// A SuggestedFix is a code change associated with a Diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit represents the replacement of the code between Pos and End
+// with the new text.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

@@ -1,0 +1,319 @@
+// Package checker is the shared loader and runner behind multichecker
+// and analysistest. It enumerates packages with `go list -e -export
+// -deps -json`, parses and type-checks the pattern-matched packages from
+// source, and imports their dependencies from the compiler export data
+// the same `go list -export` run produced — entirely offline, using the
+// ordinary Go build cache.
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// A Package is one type-checked, pattern-matched package.
+type Package struct {
+	ImportPath   string
+	Dir          string
+	Fset         *token.FileSet
+	Files        []*ast.File
+	GoFiles      []string
+	IgnoredFiles []string
+	Types        *types.Package
+	Info         *types.Info
+	Sizes        types.Sizes
+	TypeErrors   []types.Error
+	Module       *analysis.Module
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the directory `go list` runs in ("" = current directory).
+	Dir string
+	// Env entries are appended to os.Environ() for the `go list` run
+	// (e.g. GOPATH-mode overrides for analysistest fixtures).
+	Env []string
+	// Patterns are the `go list` package patterns to analyze.
+	Patterns []string
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath     string
+	Name           string
+	Dir            string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	Imports        []string
+	ImportMap      map[string]string
+	Export         string
+	Standard       bool
+	DepOnly        bool
+	Module         *struct {
+		Path      string
+		Version   string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load lists, parses and type-checks the packages matching
+// cfg.Patterns. Dependencies are resolved from export data; only the
+// matched packages themselves get syntax trees.
+func Load(cfg LoadConfig) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,IgnoredGoFiles,Imports,ImportMap,Export,Standard,DepOnly,Module,Error",
+		"--",
+	}, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	cmd.Env = append(cmd.Env, cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(cfg.Patterns, " "), err, stderr.String())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		all = append(all, lp)
+	}
+
+	// Export data index for the importer, spanning targets and deps.
+	exports := make(map[string]string)
+	for _, lp := range all {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	base := newExportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, lp := range all {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue // e.g. empty directory matched by a wildcard
+		}
+		pkg, err := typecheck(fset, base, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func typecheck(fset *token.FileSet, base *exportImporter, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Sizes:      types.SizesFor("gc", runtime.GOARCH),
+	}
+	for _, name := range lp.IgnoredGoFiles {
+		pkg.IgnoredFiles = append(pkg.IgnoredFiles, filepath.Join(lp.Dir, name))
+	}
+	if lp.Module != nil {
+		pkg.Module = &analysis.Module{Path: lp.Module.Path, Version: lp.Module.Version, GoVersion: lp.Module.GoVersion}
+	}
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: &mappedImporter{base: base, importMap: lp.ImportMap},
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				pkg.TypeErrors = append(pkg.TypeErrors, te)
+			}
+		},
+		Sizes: pkg.Sizes,
+	}
+	if pkg.Module != nil && pkg.Module.GoVersion != "" {
+		conf.GoVersion = "go" + pkg.Module.GoVersion
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// exportImporter resolves imports from compiler export data files.
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+// mappedImporter applies one package's ImportMap (vendoring, module
+// replacement) before delegating to the shared export-data importer.
+type mappedImporter struct {
+	base      *exportImporter
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.base.gc.ImportFrom(path, dir, 0)
+}
+
+// A Diagnostic pairs an analyzer finding with the package it was found
+// in.
+type Diagnostic struct {
+	Pkg      *Package
+	Analyzer *analysis.Analyzer
+	analysis.Diagnostic
+}
+
+// Run applies each analyzer (and, first, its requirements) to each
+// package and returns every diagnostic reported, in a stable
+// file/position order.
+func Run(analyzers []*analysis.Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		results := map[*analysis.Analyzer]interface{}{}
+		ran := map[*analysis.Analyzer]bool{}
+		var exec func(a *analysis.Analyzer) error
+		exec = func(a *analysis.Analyzer) error {
+			if ran[a] {
+				return nil
+			}
+			ran[a] = true
+			for _, req := range a.Requires {
+				if err := exec(req); err != nil {
+					return err
+				}
+			}
+			if len(pkg.TypeErrors) > 0 && !a.RunDespiteErrors {
+				return fmt.Errorf("package %s has type errors (first: %v); analyzer %s cannot run",
+					pkg.ImportPath, pkg.TypeErrors[0], a.Name)
+			}
+			pass := newPass(a, pkg, results, func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{Pkg: pkg, Analyzer: a, Diagnostic: d})
+			})
+			res, err := a.Run(pass)
+			if err != nil {
+				return fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			if a.ResultType != nil {
+				results[a] = res
+			}
+			return nil
+		}
+		for _, a := range analyzers {
+			if err := exec(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := diags[i].Pkg.Fset.Position(diags[i].Pos), diags[j].Pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// newPass assembles a Pass for one (analyzer, package) pair. The fact
+// methods are inert stubs: Validate already rejected analyzers that
+// declare fact types.
+func newPass(a *analysis.Analyzer, pkg *Package, results map[*analysis.Analyzer]interface{}, report func(analysis.Diagnostic)) *analysis.Pass {
+	resultOf := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	return &analysis.Pass{
+		Analyzer:          a,
+		Fset:              pkg.Fset,
+		Files:             pkg.Files,
+		IgnoredFiles:      pkg.IgnoredFiles,
+		Pkg:               pkg.Types,
+		TypesInfo:         pkg.Info,
+		TypesSizes:        pkg.Sizes,
+		TypeErrors:        pkg.TypeErrors,
+		Module:            pkg.Module,
+		Report:            report,
+		ResultOf:          resultOf,
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+}

@@ -1,0 +1,288 @@
+// Package multichecker defines the main function for an analysis driver
+// with several analyzers. The resulting binary runs standalone over
+// package patterns:
+//
+//	cxl0-lint ./...
+//
+// and also speaks the `go vet -vettool` protocol: it answers the
+// -V=full version handshake and the -flags query, and when invoked with
+// a single *.cfg argument it analyzes the one package the config file
+// describes, importing dependencies from the export data files `go vet`
+// lists in the config.
+package multichecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/internal/checker"
+)
+
+const (
+	exitOK          = 0
+	exitUsage       = 1
+	exitDiagnostics = 3 // matches the upstream multichecker convention
+)
+
+// Main is the main function for a multi-analyzer driver.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+	jsonFlag := flag.Bool("json", false, "emit JSON output")
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s is a tool for static analysis of Go programs.\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Usage: %s [flags] packages...\n\nRegistered analyzers:\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "    %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// `go vet -vettool` probes the tool with -V=full and parses the
+		// reply's last field as the tool's content ID, so it must carry a
+		// buildID token that changes when the binary does. Upstream hashes
+		// the executable; do the same.
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, executableHash())
+		os.Exit(exitOK)
+	}
+	if *flagsFlag {
+		// `go vet` asks which flags the tool supports; none need to be
+		// forwarded, so report an empty list.
+		fmt.Println("[]")
+		os.Exit(exitOK)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetConfig(analyzers, args[0], *jsonFlag))
+	}
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(exitUsage)
+	}
+
+	pkgs, err := checker.Load(checker.LoadConfig{Patterns: args})
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := checker.Run(analyzers, pkgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonFlag {
+		printJSON(os.Stdout, diags)
+		os.Exit(exitOK)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", relPosition(d.Pkg.Fset, d.Pos), d.Message, d.Analyzer.Name)
+	}
+	if len(diags) > 0 {
+		os.Exit(exitDiagnostics)
+	}
+	os.Exit(exitOK)
+}
+
+func relPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}
+
+// printJSON emits diagnostics in the nested package/analyzer shape `go
+// vet -json` uses.
+func printJSON(w io.Writer, diags []checker.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	tree := map[string]map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer, ok := tree[d.Pkg.ImportPath]
+		if !ok {
+			byAnalyzer = map[string][]jsonDiag{}
+			tree[d.Pkg.ImportPath] = byAnalyzer
+		}
+		byAnalyzer[d.Analyzer.Name] = append(byAnalyzer[d.Analyzer.Name], jsonDiag{
+			Posn:    d.Pkg.Fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(tree)
+}
+
+// vetConfig is the JSON schema of the config file `go vet` hands the
+// tool for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetConfig analyzes the single package described by a `go vet`
+// config file and returns the process exit code.
+func runVetConfig(analyzers []*analysis.Analyzer, cfgFile string, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("cannot decode vet config %s: %v", cfgFile, err)
+		return exitUsage
+	}
+
+	// This subset computes no facts, but `go vet` requires the output
+	// file to exist before it will cache the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("cxl0-lint: no facts\n"), 0o666); err != nil {
+			log.Print(err)
+			return exitUsage
+		}
+	}
+	if cfg.VetxOnly {
+		return exitOK
+	}
+
+	fset := token.NewFileSet()
+	pkg := &checker.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Sizes:      types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg.IgnoredFiles = append(pkg.IgnoredFiles, cfg.IgnoredFiles...)
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return exitOK
+			}
+			log.Print(err)
+			return exitUsage
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     pkg.Sizes,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				pkg.TypeErrors = append(pkg.TypeErrors, te)
+			}
+		},
+	}
+	pkg.Types, _ = tconf.Check(cfg.ImportPath, fset, pkg.Files, pkg.Info)
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return exitOK
+	}
+
+	diags, err := checker.Run(analyzers, []*checker.Package{pkg})
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	if asJSON {
+		printJSON(os.Stdout, diags)
+		return exitOK
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2 // the unitchecker diagnostic exit code `go vet` expects
+	}
+	return exitOK
+}
+
+// executableHash returns a hex digest of the running binary, the
+// content ID the -V=full handshake reports: `go vet` caches vet results
+// keyed on it, so it must change exactly when the tool binary does.
+func executableHash() string {
+	path, err := os.Executable()
+	if err != nil {
+		path = os.Args[0]
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"unicode"
+)
+
+// Validate reports an error if any of the analyzers are misconfigured:
+// a missing name or run function, a name that is not a valid identifier,
+// a cycle in the Requires graph, or (in this subset) declared fact
+// types, which are unsupported.
+func Validate(analyzers []*Analyzer) error {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := map[*Analyzer]int{}
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		switch color[a] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("cycle in Requires graph involving %q", a.Name)
+		}
+		color[a] = grey
+		if !validIdent(a.Name) {
+			return fmt.Errorf("invalid analyzer name %q", a.Name)
+		}
+		if a.Doc == "" {
+			return fmt.Errorf("analyzer %q is undocumented", a.Name)
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has no Run function", a.Name)
+		}
+		if len(a.FactTypes) > 0 {
+			return fmt.Errorf("analyzer %q declares facts, which this offline subset does not support", a.Name)
+		}
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		color[a] = black
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validIdent(name string) bool {
+	for i, r := range name {
+		if !unicode.IsLetter(r) && r != '_' && (i == 0 || !unicode.IsDigit(r)) {
+			return false
+		}
+	}
+	return name != "" && !token.Lookup(name).IsKeyword()
+}
