@@ -46,6 +46,7 @@ type benchConfig struct {
 	RebalanceEvery int      `json:"rebalance_every"`
 	CompactAtFill  float64  `json:"compact_at_fill"`
 	CampaignEvery  int      `json:"campaign_every"`
+	Cache          int      `json:"cache"`
 	Seed           int64    `json:"seed"`
 	Workloads      []string `json:"workloads"`
 	Strategies     []string `json:"strategies"`
@@ -81,6 +82,13 @@ type headline struct {
 	// serializes the pipeline, so its rows hover near 1x — the contrast
 	// is the claim (see docs/pipeline.md).
 	PipelinedThroughput []pipelinedHead `json:"pipelined_throughput,omitempty"`
+	// ReadCache is the node-local read-cache claim: for each read-heavy
+	// workload (B, C, D) × pooled cluster count in the cache sweep, the
+	// cache-on row's hit rate and mean served-read latency against the
+	// identical cache-off row. The cache serves repeated reads from
+	// front-end DRAM and the predictor warms it speculatively, so the
+	// reduction grows with the workload's read skew (see docs/caching.md).
+	ReadCache []readCacheHead `json:"read_cache,omitempty"`
 	// Skew: max/mean shard busy (traffic only) under the zipfian
 	// update-heavy workload A — the static-routing row against the same
 	// configuration with online rebalancing, at the pair with the
@@ -201,6 +209,27 @@ type pipelinedHead struct {
 	Config     string  `json:"config"`
 }
 
+// readCacheHead is one cache-on sweep row's comparison against its
+// identical cache-off baseline row.
+type readCacheHead struct {
+	Workload string `json:"workload"`
+	Clusters int    `json:"clusters"`
+	// ReadCache is the row's cache capacity (the -cache flag) and
+	// CacheHitRate its hits/(hits+misses) over served reads.
+	ReadCache        int     `json:"read_cache"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	SpeculativeFills uint64  `json:"speculative_fills"`
+	// ReadMeanNS / BaselineReadMeanNS are the mean served-read latencies
+	// with and without the cache; ReadLatencyReduction is
+	// 1 - ReadMeanNS/BaselineReadMeanNS (the fraction of read latency the
+	// cache removed).
+	ReadMeanNS           float64 `json:"read_mean_ns"`
+	BaselineReadMeanNS   float64 `json:"baseline_read_mean_ns"`
+	ReadLatencyReduction float64 `json:"read_latency_reduction"`
+	ThroughputSpeedup    float64 `json:"throughput_speedup,omitempty"`
+	Config               string  `json:"config"`
+}
+
 // pooledScale is one cluster count's pooling speedup over the matched
 // 1-cluster rows.
 type pooledScale struct {
@@ -225,6 +254,7 @@ func main() {
 	clustersF := flag.String("clusters", "1,2,4", "comma-separated pooled cluster counts (rows with >1 pool that many clusters behind a router)")
 	variantsF := flag.String("variants", "base,psn", "comma-separated hardware variants (base,psn,lwb)")
 	pipelineDepthsF := flag.String("pipeline-depths", "1,2,4", "comma-separated commit-pipeline depths for the pipelined sweep (1 is the blocking baseline already in the matrix; depths >1 add sweep rows)")
+	cacheCap := flag.Int("cache", 256, "read-cache entry capacity of the cache-sweep rows (0 disables those rows)")
 	colocate := flag.Bool("colocate", false, "bind shard workers to the shard's machine")
 	out := flag.String("out", "BENCH_kv.json", "output JSON path (empty disables)")
 	flag.Parse()
@@ -475,8 +505,61 @@ func main() {
 	}
 	results = append(results, pipeRows...)
 
+	// Read-cache sweep: the read-heavy YCSB workloads (B, C, D) at every
+	// pooled cluster count, each run twice — cache off and cache on (with
+	// the prefetcher) at the -cache capacity — with everything else
+	// identical, so each on-row's baseline is its off-row byte for byte.
+	// Fixed at the largest shard count, the first variant and ranged
+	// commit when swept (the read path is strategy-independent; one
+	// strategy isolates the caching claim).
+	var cacheRows []workload.Result
+	if *cacheCap > 0 {
+		cacheStrat := strategies[0]
+		for _, s := range strategies {
+			if s == kv.RangedCommit {
+				cacheStrat = s
+			}
+		}
+		for _, wl := range []string{"B", "C", "D"} {
+			spec, err := workload.YCSB(wl)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Keys = *keys
+			for _, clusters := range clusterCounts {
+				for _, capacity := range []int{0, *cacheCap} {
+					res, err := workload.Run(workload.Options{
+						Spec: spec,
+						Store: kv.Config{
+							Shards:     maxShards,
+							Strategy:   cacheStrat,
+							Batch:      *batch,
+							Variant:    variants[0],
+							EvictEvery: *evictEvery,
+							Colocate:   *colocate,
+							ReadCache:  capacity,
+							Prefetch:   capacity > 0,
+						},
+						Clusters:   clusters,
+						Ops:        *ops,
+						CrashEvery: *crashEvery,
+						CacheSweep: true,
+						Seed:       *seed,
+					})
+					if err != nil {
+						fatal(fmt.Errorf("%s/%v/%d/%dcl/cache=%d: %w", spec.Name, cacheStrat, maxShards, clusters, capacity, err))
+					}
+					cacheRows = append(cacheRows, res)
+					printRow(res, "h")
+				}
+			}
+		}
+	}
+	results = append(results, cacheRows...)
+
 	head := summarize(results, shardCounts, *keys)
 	head.PipelinedThroughput = summarizePipelined(pipeRows, results)
+	head.ReadCache = summarizeReadCache(cacheRows)
 	head.FaultCampaign = summarizeCampaigns(faultRows,
 		fmt.Sprintf("%s/%d/%s", faultSpec.Name, maxShards, variants[0].String()))
 	fmt.Println()
@@ -509,6 +592,10 @@ func main() {
 		fmt.Printf("headline: pooling %d clusters is %.2fx the 1-cluster throughput on average (best %.2fx at %s)\n",
 			ps.Clusters, ps.MeanSpeedup, ps.BestSpeedup, ps.BestConfig)
 	}
+	for _, rc := range head.ReadCache {
+		fmt.Printf("headline: read cache on %s at %d clusters hits %.0f%% and cuts mean read latency %.0f%% (%d speculative fills, %s)\n",
+			rc.Workload, rc.Clusters, 100*rc.CacheHitRate, 100*rc.ReadLatencyReduction, rc.SpeculativeFills, rc.Config)
+	}
 	if head.Compaction != nil {
 		fmt.Printf("headline: compaction sustained %.1fx the log capacity in appends — %d compactions reclaimed %d slots, %.2fx the uncapped throughput (%s)\n",
 			head.Compaction.AppendsOverCapacity, head.Compaction.Compactions,
@@ -525,7 +612,8 @@ func main() {
 			Config: benchConfig{
 				Ops: *ops, Keys: *keys, Batch: *batch, CrashEvery: *crashEvery,
 				EvictEvery: *evictEvery, RebalanceEvery: *rebalanceEvery,
-				CompactAtFill: *compactAtFill, CampaignEvery: campaignEvery, Seed: *seed,
+				CompactAtFill: *compactAtFill, CampaignEvery: campaignEvery,
+				Cache: *cacheCap, Seed: *seed,
 				Workloads: strings.Split(*workloadsF, ","), Strategies: strings.Split(*strategiesF, ","),
 				Shards: shardCounts, Clusters: clusterCounts, Variants: strings.Split(*variantsF, ","),
 				PipelineDepths: pipelineDepths,
@@ -635,6 +723,44 @@ func summarizeCampaigns(rows []workload.Result, config string) faultCampaignHead
 	return head
 }
 
+// summarizeReadCache derives the read_cache headline: each cache-on
+// sweep row against its identical cache-off baseline, matched on
+// workload and cluster count (the sweep varies nothing else).
+func summarizeReadCache(rows []workload.Result) []readCacheHead {
+	off := map[string]workload.Result{}
+	for _, r := range rows {
+		if r.ReadCache == 0 {
+			off[fmt.Sprintf("%s/%d", r.Workload, r.Clusters)] = r
+		}
+	}
+	var heads []readCacheHead
+	for _, r := range rows {
+		if r.ReadCache == 0 {
+			continue
+		}
+		h := readCacheHead{
+			Workload:         r.Workload,
+			Clusters:         r.Clusters,
+			ReadCache:        r.ReadCache,
+			CacheHitRate:     r.CacheHitRate,
+			SpeculativeFills: r.SpeculativeFills,
+			ReadMeanNS:       r.ReadMeanNS,
+			Config:           fmt.Sprintf("%s/%s/%d/%s/%dcl/cache%d", r.Workload, r.Strategy, r.Shards, r.Variant, r.Clusters, r.ReadCache),
+		}
+		if base, ok := off[fmt.Sprintf("%s/%d", r.Workload, r.Clusters)]; ok {
+			h.BaselineReadMeanNS = base.ReadMeanNS
+			if base.ReadMeanNS > 0 {
+				h.ReadLatencyReduction = 1 - r.ReadMeanNS/base.ReadMeanNS
+			}
+			if base.ThroughputOpsPerSec > 0 {
+				h.ThroughputSpeedup = r.ThroughputOpsPerSec / base.ThroughputOpsPerSec
+			}
+		}
+		heads = append(heads, h)
+	}
+	return heads
+}
+
 // summarizePipelined derives the pipelined_throughput headline: each
 // sweep row against its identical blocking (K=1) static row — matched
 // on strategy/workload/shards/variant with single-cluster static
@@ -642,7 +768,7 @@ func summarizeCampaigns(rows []workload.Result, config string) faultCampaignHead
 func summarizePipelined(pipeRows, all []workload.Result) []pipelinedHead {
 	blocking := map[string]workload.Result{}
 	for _, r := range all {
-		if r.Campaign == "" && r.PipelineDepth == 0 &&
+		if r.Campaign == "" && r.PipelineDepth == 0 && !r.CacheSweep &&
 			r.RebalanceEvery == 0 && r.Clusters == 1 && r.CompactAtFill == 0 {
 			blocking[fmt.Sprintf("%s/%s/%d/%s", r.Strategy, r.Workload, r.Shards, r.Variant)] = r
 		}
@@ -675,10 +801,10 @@ func summarizePipelined(pipeRows, all []workload.Result) []pipelinedHead {
 func summarize(all []workload.Result, shardCounts []int, keys int) headline {
 	var results []workload.Result
 	for _, r := range all {
-		// Campaign and pipelined-sweep rows run schedules/configurations
-		// no other row runs; summarizeCampaigns and summarizePipelined
-		// read them instead.
-		if r.Campaign == "" && r.PipelineDepth == 0 {
+		// Campaign, pipelined-sweep and cache-sweep rows run schedules/
+		// configurations no other row runs; summarizeCampaigns,
+		// summarizePipelined and summarizeReadCache read them instead.
+		if r.Campaign == "" && r.PipelineDepth == 0 && !r.CacheSweep {
 			results = append(results, r)
 		}
 	}

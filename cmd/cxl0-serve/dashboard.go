@@ -23,6 +23,7 @@ const dashboardHTML = `<!doctype html>
     --k-compaction: #eda100; --k-crash: #e87ba4; --k-recover: #008300;
     --k-rebalance: #4a3aa7; --k-partition: #8a5cd6; --k-heal: #0e8f8f;
     --k-degrade: #a06a00;
+    --k-hit: #5a8a00; --k-miss: #b04a2a; --k-speculative: #5c6bd6;
   }
   @media (prefers-color-scheme: dark) {
     :root {
@@ -34,6 +35,7 @@ const dashboardHTML = `<!doctype html>
       --k-compaction: #c98500; --k-crash: #d55181; --k-recover: #008300;
       --k-rebalance: #9085e9; --k-partition: #c06ad0; --k-heal: #2ab3ba;
       --k-degrade: #c98a33;
+      --k-hit: #7aa62a; --k-miss: #d06a45; --k-speculative: #8a96e9;
     }
   }
   * { box-sizing: border-box; }
@@ -135,6 +137,7 @@ function render(m) {
     (f.campaign ? " · " + f.campaign + " campaign" : "");
   var opsRate = 0;
   (m.obs.ops || []).forEach(function (o) { opsRate += o.rate_per_sec; });
+  var cacheServed = (m.kv.cache_hits || 0) + (m.kv.cache_misses || 0);
   el("tiles").innerHTML =
     tile("sim time", fmt(m.sim_ns / 1e6) + " ms", "total simulated time consumed") +
     tile("events/s", fmt(opsRate), "op spans per host second (rolling 10s)") +
@@ -153,7 +156,11 @@ function render(m) {
     tile("unavailable", fmt(f.unavailable || 0),
       "ops denied by a fabric partition (data intact); " +
       (f.partial_results || 0) + " fan-outs returned partial results") +
-    tile("scan discard", fmt(m.kv.scan_discarded_pairs), "pairs fetched by pooled scans and cut in the merge");
+    tile("scan discard", fmt(m.kv.scan_discarded_pairs), "pairs fetched by pooled scans and cut in the merge") +
+    tile("cache hits", cacheServed > 0 ? (m.kv.cache_hits / cacheServed * 100).toFixed(1) + "%" : "&mdash;",
+      "read-cache hit rate: " + fmt(m.kv.cache_hits) + " hits / " + fmt(m.kv.cache_misses) +
+      " misses · " + fmt(m.kv.speculative_fills) + " speculative fills · " +
+      fmt(m.kv.cache_size) + " entries resident");
 
   var sh = "";
   var maxShare = 0;
@@ -218,7 +225,7 @@ function addEvent(e) {
 }
 var es = new EventSource("/events");
 ["op", "commit", "migration", "compaction", "crash", "recover", "rebalance",
- "partition", "heal", "degrade"]
+ "partition", "heal", "degrade", "hit", "miss", "speculative"]
   .forEach(function (kind) {
     es.addEventListener(kind, function (msg) { addEvent(JSON.parse(msg.data)); });
   });

@@ -54,6 +54,7 @@ func run() error {
 	shards := flag.Int("shards", 2, "shards per cluster")
 	strategyF := flag.String("strategy", "group", "persistence strategy (mstore,flush,rflush,gpf,group,ranged)")
 	pipeline := flag.Int("pipeline", 2, "commit pipeline depth for batched strategies (1 = blocking commit)")
+	cacheCap := flag.Int("cache", 256, "per-front-end read-cache entry capacity (0 disables the cache and prefetcher)")
 	workloadF := flag.String("workload", "A", "YCSB workload (A,B,C,D,E)")
 	keys := flag.Int("keys", 500, "preloaded keyspace size")
 	rate := flag.Int("rate", 500, "target operations per host second")
@@ -100,7 +101,10 @@ func run() error {
 			// reusable indefinitely.
 			Capacity: 4096, CompactAtFill: 0.85,
 			PipelineDepth: *pipeline,
-			Seed:          *seed + 1,
+			// Each pooled front end gets its own coherent read cache and
+			// speculative prefetcher (see docs/caching.md).
+			ReadCache: *cacheCap, Prefetch: *cacheCap > 0,
+			Seed: *seed + 1,
 		},
 	})
 	if err != nil {
@@ -354,6 +358,10 @@ type metricsSnapshot struct {
 		ReclaimedSlots     uint64 `json:"reclaimed_slots"`
 		PipelinedCommits   uint64 `json:"pipelined_commits"`
 		MaxInFlight        int    `json:"max_in_flight"`
+		CacheHits          uint64 `json:"cache_hits"`
+		CacheMisses        uint64 `json:"cache_misses"`
+		SpeculativeFills   uint64 `json:"speculative_fills"`
+		CacheSize          int    `json:"cache_size"`
 	} `json:"kv"`
 
 	Shards []shardRow   `json:"shards"`
@@ -398,6 +406,8 @@ func (s *server) snapshot() metricsSnapshot {
 	doc.KV.Recoveries, doc.KV.Migrations = m.Recoveries, m.Migrations
 	doc.KV.Compactions, doc.KV.ReclaimedSlots = m.Compactions, m.ReclaimedSlots
 	doc.KV.PipelinedCommits, doc.KV.MaxInFlight = m.PipelinedCommits, m.MaxInFlight
+	doc.KV.CacheHits, doc.KV.CacheMisses = m.CacheHits, m.CacheMisses
+	doc.KV.SpeculativeFills, doc.KV.CacheSize = m.SpeculativeFills, m.CacheSize
 	totalBusy := 0.0
 	for _, b := range m.PerShardBusyNS {
 		totalBusy += b

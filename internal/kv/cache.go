@@ -1,0 +1,226 @@
+package kv
+
+// The per-front-end read cache (Config.ReadCache > 0). Every Get pays
+// the simulated cost of loading the value from the owning shard's
+// disaggregated memory; a front end that recently served a key can
+// instead answer from a node-local volatile copy — the local cache tier
+// CXL-SpecKV and XL-Share layer over disaggregated memory (PAPERS.md).
+// The copy is modeled as a MESI cache line (internal/coherence, the same
+// state machine the CXL.cache substrate uses): a fill installs the line
+// Shared — the owning device keeps its copy — and every write path that
+// can change the key's visible state snoops the line Invalid inline,
+// under the same store lock that changes the state. There is no side
+// channel to race with: a reader either sees the line before the snoop
+// (and the old value was still the visible state, because the snoop
+// happens with the lock held before the new state is readable) or after
+// it (and misses to the authoritative medium).
+//
+// What "every write path" means, precisely (the invalidation table in
+// docs/caching.md):
+//
+//   - append (Put/Delete/Apply): the written key, at index update.
+//   - commit points — pipelined flight retirement and the blocking
+//     commit's acknowledgment loop: every client key of the committed
+//     range. Under the pipeline, reads are gated by the acked-watermark
+//     (docs/pipeline.md) and may have cached the key's *shadow* (last
+//     acked) state; retirement moves the watermark past the newer
+//     record, so the cached shadow value must die with the shadow entry.
+//   - bucket migration: the migrated bucket's keys, at the flip (and on
+//     the recovery redo path, reindexBucket).
+//   - compaction: the compacted shard's keys, at the reclaim.
+//   - crash, recovery and front-end failover: the affected shard's keys
+//     (crashLocked, recoverShard) or the whole cache (CrashFront). This
+//     is load-bearing, not conservatism: under a batched strategy a read
+//     can cache a visible-but-unacknowledged value, and recovery may
+//     legitimately drop that record — the cached copy must go with it.
+//   - partition transitions (Partition/Heal): the shard's keys,
+//     conservatively — a partitioned owner cannot snoop the front end,
+//     so the front end drops its copies instead of serving them while
+//     the fabric cannot revoke them.
+//
+// A cache hit costs nothing on the simulated clock, like the index
+// probe: the copy lives in the front end's local DRAM. Only found
+// values are cached (a lookup that misses the index pays no Load either
+// way). Capacity is bounded; eviction is exact LRU, which is
+// deterministic — no randomness, no map iteration.
+
+import (
+	"cxl0/internal/coherence"
+	"cxl0/internal/core"
+)
+
+// cacheEntry is one cached key: a MESI line holding the value word,
+// threaded on the LRU list (head = most recently used).
+type cacheEntry struct {
+	key        core.Val
+	line       coherence.Line
+	prev, next *cacheEntry
+}
+
+// readCache is the bounded key→value cache one Store front end owns.
+// All state is guarded by the owning store's mu: every method is
+// ...Locked, called with the store lock held.
+type readCache struct {
+	capacity int
+	// entries indexes the LRU list by key; head/tail are the list ends
+	// (head = most recently used).
+	//cxl0:guarded-by mu
+	entries map[core.Val]*cacheEntry
+	//cxl0:guarded-by mu
+	head *cacheEntry
+	//cxl0:guarded-by mu
+	tail *cacheEntry
+	// hits and misses count lookups on the served-read path (the hit
+	// rate's denominator is exactly the reads that resolved a value);
+	// specFills counts speculative prefetch fills, invalidations the
+	// inline snoops, evictions the LRU replacements.
+	//cxl0:guarded-by mu
+	hits uint64
+	//cxl0:guarded-by mu
+	misses uint64
+	//cxl0:guarded-by mu
+	specFills uint64
+	//cxl0:guarded-by mu
+	invalidations uint64
+	//cxl0:guarded-by mu
+	evictions uint64
+}
+
+// newReadCache builds a cache bounded to capacity entries (capacity >= 1;
+// the caller gates on Config.ReadCache > 0).
+//
+//cxl0:locked mu
+func newReadCache(capacity int) *readCache {
+	return &readCache{capacity: capacity, entries: make(map[core.Val]*cacheEntry, capacity)}
+}
+
+// unlinkLocked removes e from the LRU list (not from the map).
+func (c *readCache) unlinkLocked(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFrontLocked inserts e at the list head (most recently used).
+func (c *readCache) pushFrontLocked(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// lookupLocked consults the cache on the served-read path: a valid line
+// is a hit (served locally, zero simulated cost, promoted to MRU), and
+// anything else a miss the caller resolves with a paid Load and fills
+// back. Counts hits and misses; speculative probes use containsLocked.
+func (c *readCache) lookupLocked(key core.Val) (core.Val, bool) {
+	e, ok := c.entries[key]
+	if !ok || !e.line.ReadHit() {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	if c.head != e {
+		c.unlinkLocked(e)
+		c.pushFrontLocked(e)
+	}
+	return core.Val(e.line.Data), true
+}
+
+// containsLocked reports whether key holds a valid line, without
+// touching the counters or the LRU order — the prefetcher's probe.
+func (c *readCache) containsLocked(key core.Val) bool {
+	e, ok := c.entries[key]
+	return ok && e.line.ReadHit()
+}
+
+// fillLocked installs the value just read (or speculatively prefetched)
+// for key. The line fills Shared: the owning shard keeps its copy, and
+// ownership stays with the device — the front end never writes through
+// the cache, so it never needs E/M. Evicts the LRU tail at capacity.
+func (c *readCache) fillLocked(key, val core.Val, speculative bool) {
+	if e, ok := c.entries[key]; ok {
+		e.line.OnFill(uint64(val), false)
+		if c.head != e {
+			c.unlinkLocked(e)
+			c.pushFrontLocked(e)
+		}
+		if speculative {
+			c.specFills++
+		}
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		lru := c.tail
+		c.unlinkLocked(lru)
+		delete(c.entries, lru.key)
+		lru.line.OnEvict()
+		c.evictions++
+	}
+	e := &cacheEntry{key: key}
+	e.line.OnFill(uint64(val), false)
+	c.entries[key] = e
+	c.pushFrontLocked(e)
+	if speculative {
+		c.specFills++
+	}
+}
+
+// invalidateKeyLocked snoops key's line Invalid — the inline coherence
+// action every write path performs for the keys whose visible state it
+// changes. A no-op for an uncached key.
+func (c *readCache) invalidateKeyLocked(key core.Val) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	e.line.OnSnoopInvalidate()
+	c.unlinkLocked(e)
+	delete(c.entries, key)
+	c.invalidations++
+}
+
+// invalidateMatchLocked snoops every cached key matching pred — the
+// shard- and bucket-scoped invalidations (crash, recovery, partition
+// transitions, migration flips, compaction reclaim). Walks the LRU
+// list, never the map: the walk order is the deterministic recency
+// order, so the sweep is replay-safe.
+func (c *readCache) invalidateMatchLocked(pred func(core.Val) bool) {
+	for e := c.head; e != nil; {
+		next := e.next
+		if pred(e.key) {
+			e.line.OnSnoopInvalidate()
+			c.unlinkLocked(e)
+			delete(c.entries, e.key)
+			c.invalidations++
+		}
+		e = next
+	}
+}
+
+// invalidateAllLocked drops every entry — front-end failover
+// (CrashFront): the cache is front-end volatile state and dies with the
+// front's machine.
+func (c *readCache) invalidateAllLocked() {
+	for e := c.head; e != nil; e = e.next {
+		e.line.OnSnoopInvalidate()
+		c.invalidations++
+	}
+	c.head, c.tail = nil, nil
+	c.entries = make(map[core.Val]*cacheEntry, c.capacity)
+}
+
+// lenLocked returns the current entry count (gauges and tests).
+func (c *readCache) lenLocked() int { return len(c.entries) }

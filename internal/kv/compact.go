@@ -308,6 +308,13 @@ func (s *Store) compactLocked(sh *shard) (stats CompactionStats, err error) {
 	for i, r := range live {
 		sh.index[r.key] = sh.cap + i
 	}
+	if s.cache != nil {
+		// Reclaim re-homed every live record into the new snapshot region:
+		// the lines the front end's copies were filled against are being
+		// retired, so the compaction snoops the shard's keys wholesale
+		// (see docs/caching.md).
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.shardOf(k) == sh.id })
+	}
 	// Zero the dead log's checksum words so reclaimed data is unreadable
 	// as well as invalid. Best-effort: the epoch binding already retires
 	// these records, so a crash mid-sweep loses nothing — the sweep just

@@ -44,6 +44,11 @@ func (s *Store) CrashFront() {
 		sh.laneEnd = 0
 		sh.shadow = nil
 	}
+	if s.cache != nil {
+		// The read cache is front-end DRAM, the most volatile state of
+		// all: it dies with the front's machine, wholesale.
+		s.cache.invalidateAllLocked()
+	}
 	if s.rec != nil {
 		s.rec.Crash(-1, s.cluster.NowNS())
 	}

@@ -325,6 +325,18 @@ type Config struct {
 	// Latency is the cost model charged to the simulated clock
 	// (default latency.NewModel()).
 	Latency *latency.Model
+	// ReadCache is the entry capacity of the per-front-end volatile read
+	// cache: a bounded key→value cache of MESI-modeled lines consulted
+	// before paying the simulated Load on the read path, invalidated
+	// inline by every write path that changes visible state (see
+	// docs/caching.md). 0 (the default) disables the cache entirely —
+	// the read path is byte-for-byte the uncached one.
+	ReadCache int
+	// Prefetch enables the speculative prefetcher on top of the read
+	// cache: a per-shard Markov successor table plus a sequential-run
+	// detector issue non-blocking speculative reads that warm the cache
+	// ahead of Get/Scan. Ignored unless ReadCache > 0.
+	Prefetch bool
 }
 
 func (c Config) withDefaults() Config {

@@ -25,6 +25,7 @@ package kvtest
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -48,6 +49,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("SyncCommits", func(t *testing.T) { testSyncCommits(t, f) })
 	t.Run("CrashRecoverVisibility", func(t *testing.T) { testCrashRecoverVisibility(t, f) })
 	t.Run("PipelinedAckOrder", func(t *testing.T) { testPipelinedAckOrder(t, f) })
+	t.Run("CachedReadVisibility", func(t *testing.T) { testCachedReadVisibility(t, f) })
 	t.Run("FaultCampaignVisibility", func(t *testing.T) { testFaultCampaignVisibility(t, f) })
 	t.Run("CompactVisibility", func(t *testing.T) { testCompactVisibility(t, f) })
 	t.Run("AutoCompactCapacity", func(t *testing.T) { testAutoCompactCapacity(t, f) })
@@ -245,6 +247,206 @@ func testPipelinedAckOrder(t *testing.T, f Factory) {
 				}
 			}
 		})
+	}
+}
+
+// testCachedReadVisibility pins the node-local read cache's coherence
+// contract (kv.Config.ReadCache > 0, with the prefetcher on): a cached
+// read is indistinguishable from an uncached one. Read-your-writes holds
+// through Put/Delete/Apply; visibility is unchanged across compaction,
+// rebalancing and partition/heal; reads stay monotonic across a
+// crash/recovery sweep even when eviction churn forces the cache to
+// refill from the store (a stale survivor would read backwards in time);
+// and under the pipelined batched strategies at K ∈ {2, 4} a cached
+// value tracks the acked watermark — never a value a crash could take
+// back — flipping to the overwrite only at its batch's retirement.
+func testCachedReadVisibility(t *testing.T, f Factory) {
+	for _, strat := range kv.Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			cfg := cfgFor(strat)
+			// A tiny cache: eviction churn keeps the monotonic checks
+			// honest — a stale entry cannot hide behind an LRU that never
+			// refills from the store.
+			cfg.ReadCache = 8
+			cfg.Prefetch = true
+			db := f(t, cfg)
+			const n = 24
+			want := map[core.Val]core.Val{} // 0 = deleted
+			// expect reads every key twice — the second read is the cached
+			// path when the first filled — and demands the same answer.
+			expect := func(stage string) {
+				t.Helper()
+				for k := core.Val(0); k < n; k++ {
+					for pass := 0; pass < 2; pass++ {
+						v, ok, err := db.Get(k)
+						if err != nil {
+							t.Fatalf("%s: get %d pass %d: %v", stage, k, pass, err)
+						}
+						if w := want[k]; (w == 0) == ok || (ok && v != w) {
+							t.Fatalf("%s: get %d pass %d = (%d, %v), want %d", stage, k, pass, v, ok, w)
+						}
+					}
+				}
+			}
+
+			// Read-your-writes through every write operation.
+			for k := core.Val(0); k < n; k++ {
+				if _, err := db.Put(k, 100+k); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = 100 + k
+			}
+			expect("initial")
+			for k := core.Val(0); k < 6; k++ {
+				if _, err := db.Put(k, 200+k); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = 200 + k
+			}
+			expect("overwrite")
+			if _, err := db.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			want[2] = 0
+			if _, err := db.Apply(new(kv.Batch).Put(3, 333).Delete(4)); err != nil {
+				t.Fatal(err)
+			}
+			want[3], want[4] = 333, 0
+			expect("delete+apply")
+			if err := db.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Background reorganization changes placement, never visibility.
+			if _, err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			expect("compacted")
+			if _, err := db.Rebalance(); err != nil {
+				t.Fatal(err)
+			}
+			expect("rebalanced")
+
+			// Crash/recovery: overwrite a few keys unsynced (under the
+			// batched strategies some are unacknowledged), sweep every
+			// shard, then pin monotonic reads: whatever the first
+			// post-recovery read answers — old or new — later reads must
+			// repeat, including after churn evicts and refills the cache.
+			for k := core.Val(8); k < 14; k++ {
+				if _, err := db.Put(k, 500+k); err != nil {
+					t.Fatal(err)
+				}
+				if v, ok, err := db.Get(k); err != nil || !ok || v != 500+k {
+					t.Fatalf("pre-crash read-your-write %d: (%d, %v, %v)", k, v, ok, err)
+				}
+			}
+			crashRecoverAll(t, db)
+			for k := core.Val(8); k < 14; k++ {
+				v, ok, err := db.Get(k)
+				if err != nil || !ok {
+					t.Fatalf("post-recovery get %d: (%v, %v)", k, ok, err)
+				}
+				if v != want[k] && v != 500+k {
+					t.Fatalf("post-recovery get %d = %d, want acked %d or newer %d", k, v, want[k], 500+k)
+				}
+				want[k] = v
+			}
+			for k := core.Val(14); k < n; k++ { // churn the tiny LRU dry
+				if _, _, err := db.Get(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			expect("post-recovery")
+
+			// Partition/heal: denied reads are denied, healed reads exact.
+			db.Partition(0)
+			for k := core.Val(0); k < n; k++ {
+				_, _, err := db.Get(k)
+				if err != nil && !errors.Is(err, kv.ErrUnavailable) {
+					t.Fatalf("partitioned get %d: %v", k, err)
+				}
+			}
+			db.Heal(0)
+			expect("healed")
+		})
+	}
+
+	// Watermark gating under the commit pipeline: the cached copy of a
+	// key must flip to an overwrite only when the overwrite's batch
+	// retires (its flush is acknowledged) — the same instant the uncached
+	// read path flips.
+	for _, strat := range []kv.Strategy{kv.GroupCommit, kv.RangedCommit} {
+		for _, depth := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%v/K%d", strat, depth), func(t *testing.T) {
+				cfg := cfgFor(strat)
+				cfg.PipelineDepth = depth
+				cfg.ReadCache = 32
+				cfg.Prefetch = true
+				db := f(t, cfg)
+				const n = 16
+				for k := core.Val(0); k < n; k++ {
+					if _, err := db.Put(k, 1000+k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := db.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				for k := core.Val(0); k < n; k++ { // warm the cache on acked values
+					if v, ok, err := db.Get(k); err != nil || !ok || v != 1000+k {
+						t.Fatalf("warm get %d: (%d, %v, %v)", k, v, ok, err)
+					}
+				}
+				// One unacknowledged overwrite in a fresh open batch: both
+				// the cached and uncached path must keep serving the acked
+				// value until Sync retires it.
+				if _, err := db.Put(0, 9000); err != nil {
+					t.Fatal(err)
+				}
+				for pass := 0; pass < 2; pass++ {
+					if v, ok, err := db.Get(0); err != nil || !ok || v != 1000 {
+						t.Fatalf("watermark get pass %d = (%d, %v, %v), want the acked 1000", pass, v, ok, err)
+					}
+				}
+				if err := db.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				for pass := 0; pass < 2; pass++ {
+					if v, ok, err := db.Get(0); err != nil || !ok || v != 9000 {
+						t.Fatalf("post-sync get pass %d = (%d, %v, %v), want 9000", pass, v, ok, err)
+					}
+				}
+				// Streamed overwrites with reads interleaved: every answer
+				// is the acked old value or the new one, and after the
+				// drain every key reads new — twice.
+				for k := core.Val(0); k < n; k++ {
+					if _, err := db.Put(k, 5000+k); err != nil {
+						t.Fatal(err)
+					}
+					v, ok, err := db.Get(k)
+					if err != nil || !ok {
+						t.Fatalf("in-flight get %d: (%v, %v)", k, ok, err)
+					}
+					old := core.Val(1000 + k)
+					if k == 0 {
+						old = 9000
+					}
+					if v != old && v != 5000+k {
+						t.Fatalf("in-flight get %d = %d, want acked %d or new %d", k, v, old, 5000+k)
+					}
+				}
+				if err := db.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				for k := core.Val(0); k < n; k++ {
+					for pass := 0; pass < 2; pass++ {
+						if v, ok, err := db.Get(k); err != nil || !ok || v != 5000+k {
+							t.Fatalf("drained get %d pass %d = (%d, %v, %v), want %d", k, pass, v, ok, err, 5000+k)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

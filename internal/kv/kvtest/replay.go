@@ -32,17 +32,22 @@ func DeterministicReplay(t *testing.T, f Factory) {
 		name  string
 		strat kv.Strategy
 		depth int
+		cache int
 	}{
 		// One per-operation strategy and one batched strategy through the
 		// asynchronous commit pipeline: between them they cross every
-		// append, commit, shadow-map and retire path.
-		{"MStoreEach", kv.MStoreEach, 0},
-		{"RangedCommit/pipelined", kv.RangedCommit, 3},
+		// append, commit, shadow-map and retire path. The cache-on case
+		// layers the read cache and prefetcher over the pipelined run —
+		// hit/miss/speculative events and every invalidation path
+		// (including the LRU sweeps) must replay byte-identically too.
+		{"MStoreEach", kv.MStoreEach, 0, 0},
+		{"RangedCommit/pipelined", kv.RangedCommit, 3, 0},
+		{"RangedCommit/pipelined+cache", kv.RangedCommit, 3, 32},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			first := replayRun(t, f, c.strat, c.depth)
-			second := replayRun(t, f, c.strat, c.depth)
+			first := replayRun(t, f, c.strat, c.depth, c.cache)
+			second := replayRun(t, f, c.strat, c.depth, c.cache)
 			compareReplay(t, "operation results", first.results, second.results)
 			compareReplay(t, "metrics", first.metrics, second.metrics)
 			compareReplay(t, "event stream", first.events, second.events)
@@ -63,7 +68,7 @@ type replayOutcome struct {
 // including the fault, rebalance and compaction churn at fixed operation
 // indices — so any divergence between two runs is the DB's, not the
 // driver's.
-func replayRun(t *testing.T, f Factory, strat kv.Strategy, depth int) replayOutcome {
+func replayRun(t *testing.T, f Factory, strat kv.Strategy, depth, cache int) replayOutcome {
 	t.Helper()
 	cfg := kv.Config{
 		Shards: 2, Strategy: strat, Batch: 4, Seed: 21, EvictEvery: 3,
@@ -71,6 +76,9 @@ func replayRun(t *testing.T, f Factory, strat kv.Strategy, depth int) replayOutc
 		// on top of the explicit churn below.
 		Capacity: 256, CompactAtFill: 0.6,
 		PipelineDepth: depth,
+		// Cache-on case only: small enough that the LRU evicts during the
+		// run, so eviction order is under replay comparison too.
+		ReadCache: cache, Prefetch: cache > 0,
 	}
 	db := f(t, cfg)
 

@@ -344,6 +344,13 @@ func (s *Store) migrateBucket(b, to int) (MigrationStats, error) {
 		dst.index[p.key] = preLen + 1 + i
 		delete(src.index, p.key)
 	}
+	if s.cache != nil {
+		// Move-in: the bucket's keys re-home to the destination's copies.
+		// The values are unchanged, but the source — whose lines the front
+		// end's copies were filled against — no longer owns them, so the
+		// flip snoops the whole bucket (see docs/caching.md).
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.bucketOf(k) == b })
+	}
 	s.migrations++
 	s.migratedRecords += uint64(len(pairs))
 	stats.Records = len(pairs)
@@ -382,6 +389,8 @@ func (s *Store) abortCopies(dst *shard, preLen int, cause error) error {
 // destination never crashed (so its live index never indexed the copies).
 // The replay applies the same wipe rule as recovery's full rebuild, via
 // the shared replayRecord.
+//
+//cxl0:locked mu
 func (s *Store) reindexBucket(dst *shard, b int) {
 	for k := range dst.index { //cxl0:order-insensitive — uniform delete, order-free
 		if s.bucketOf(k) == b {
@@ -390,6 +399,11 @@ func (s *Store) reindexBucket(dst *shard, b int) {
 	}
 	for slot, r := range dst.log {
 		s.replayRecord(dst.index, slot, r, b)
+	}
+	if s.cache != nil {
+		// The redo flip re-homed the bucket, same as migrateBucket's
+		// in-line flip: snoop the front end's copies of its keys.
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.bucketOf(k) == b })
 	}
 }
 

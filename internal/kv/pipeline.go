@@ -246,6 +246,19 @@ func (s *Store) retireFlight(sh *shard) {
 		}
 	}
 	sh.acked = f.limit
+	if s.cache != nil {
+		// The watermark just passed these records: reads may have cached
+		// their keys' shadow (pre-flight acked) state, which stopped being
+		// the visible state this instant. Snoop those copies — the next
+		// read misses to the newly acknowledged value (or to the advanced
+		// shadow slot). This is the "cached value tracks the watermark"
+		// half of the crash-safety argument in docs/caching.md.
+		for slot := f.first; slot < f.limit; slot++ {
+			if r := sh.log[slot]; !r.move {
+				s.cache.invalidateKeyLocked(r.key)
+			}
+		}
+	}
 	if s.rec != nil {
 		s.obsCommitAcked += uint64(acked)
 		s.rec.Commit(sh.id, f.issueNS, f.ackNS, f.limit-f.first, acked, f.depth, f.queueNS)

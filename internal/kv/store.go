@@ -250,6 +250,19 @@ type Metrics struct {
 	MaxInFlight      int
 	PerShardInFlight []int
 	PerShardAcked    []int
+	// Read-cache counters (all 0 unless Config.ReadCache > 0; see
+	// docs/caching.md). CacheHits and CacheMisses count cache
+	// consultations on the served-read path — a hit was answered from the
+	// front end's local copy without a simulated Load, so the hit rate is
+	// CacheHits/(CacheHits+CacheMisses) over exactly the reads that
+	// resolved a value. SpeculativeFills counts prefetcher warm-ups
+	// installed ahead of demand, CacheInvalidations the inline coherence
+	// snoops by write paths, and CacheSize is the entry-count gauge at
+	// snapshot time.
+	CacheHits, CacheMisses uint64
+	SpeculativeFills       uint64
+	CacheInvalidations     uint64
+	CacheSize              int
 }
 
 // MaxBusyNS returns the busiest shard's simulated time — the service
@@ -363,6 +376,15 @@ type Store struct {
 	// inject correlated crashes mid-batch through it.
 	applyHook func(i int)
 
+	// cache is the per-front-end volatile read cache (nil unless
+	// Config.ReadCache > 0) and pred its speculative prefetcher (nil
+	// unless Config.Prefetch); see cache.go, predictor.go and
+	// docs/caching.md.
+	//cxl0:guarded-by mu
+	cache *readCache
+	//cxl0:guarded-by mu
+	pred *predictor
+
 	// rec, when set (Observe), receives typed events and latency samples
 	// for everything the store does. Instrumentation reads the simulated
 	// clock but never advances it and never touches the fabric's RNG, so
@@ -397,6 +419,14 @@ func Open(cfg Config) (*Store, error) {
 		Seed:       cfg.Seed,
 		Latency:    cfg.Latency,
 	})
+	var cache *readCache
+	var pred *predictor
+	if cfg.ReadCache > 0 {
+		cache = newReadCache(cfg.ReadCache)
+		if cfg.Prefetch {
+			pred = newPredictor(cfg.Shards)
+		}
+	}
 	s := &Store{
 		cfg:       cfg,
 		cluster:   cluster,
@@ -405,6 +435,8 @@ func Open(cfg Config) (*Store, error) {
 		bucketVer: make([]uint64, cfg.Buckets),
 		bucketWin: make([]float64, cfg.Buckets),
 		winBase:   make([]float64, cfg.Shards),
+		cache:     cache,
+		pred:      pred,
 	}
 	for b := range s.shardMap {
 		s.shardMap[b] = b % cfg.Shards
@@ -779,6 +811,19 @@ func (s *Store) commitLocked(sh *shard) error {
 			}
 		}
 	}
+	if s.cache != nil && s.pipelined() {
+		// The commit moved the acked-watermark past these records: reads
+		// may have cached their keys' shadow (pre-batch acked) state,
+		// which just stopped being the visible state. Snoop them with the
+		// shadow they die with. (With the pipeline off there is no shadow
+		// to have cached — the blocking commit changes no visible value —
+		// so the cached copies stay valid.)
+		for slot := first; slot < len(sh.log); slot++ {
+			if r := sh.log[slot]; !r.move {
+				s.cache.invalidateKeyLocked(r.key)
+			}
+		}
+	}
 	// The watermark caught up with the log tip; no read needs shadow
 	// state anymore.
 	sh.shadow = nil
@@ -797,6 +842,13 @@ func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 	}
 	if sh.partitioned {
 		return Ack{}, ErrUnavailable
+	}
+	// Count past the denial checks: Metrics.Puts/Deletes count operations
+	// served, and a write denied above was never served.
+	if val == 0 {
+		s.deletes++
+	} else {
+		s.puts++
 	}
 	if s.pipelined() {
 		s.retireReady(sh)
@@ -832,6 +884,13 @@ func (s *Store) append(sh *shard, key, val core.Val) (Ack, error) {
 		delete(sh.index, key)
 	} else {
 		sh.index[key] = slot
+	}
+	if s.cache != nil {
+		// Snoop the front end's cached copy inline with the index update:
+		// the key's visible state just changed (or, under the pipeline,
+		// reads now serve its shadow state, which retirement will snoop in
+		// turn — see docs/caching.md).
+		s.cache.invalidateKeyLocked(key)
 	}
 	// The write path's cost is this key's bucket's load; a batch commit
 	// triggered below is shared cost, attributed to the whole batch's
@@ -876,7 +935,6 @@ func (s *Store) Put(key, val core.Val) (Ack, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.puts++
 	sh := s.shards[s.shardOf(key)]
 	if s.rec == nil {
 		return s.append(sh, key, val)
@@ -907,7 +965,6 @@ func (s *Store) Delete(key core.Val) (Ack, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.deletes++
 	sh := s.shards[s.shardOf(key)]
 	if s.rec == nil {
 		return s.append(sh, key, 0)
@@ -946,7 +1003,6 @@ func (s *Store) Get(key core.Val) (core.Val, bool, error) {
 // getLocked serves one point lookup with the store lock held — the path
 // Get and MultiGet share.
 func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
-	s.gets++
 	sh := s.shards[s.shardOf(key)]
 	if s.frontDown {
 		return 0, false, ErrFrontDown
@@ -957,6 +1013,10 @@ func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 	if sh.partitioned {
 		return 0, false, ErrUnavailable
 	}
+	// Count past the denial checks: Metrics.Gets counts operations
+	// served, and a denied read must neither count nor dilute the cache
+	// hit rate's denominator.
+	s.gets++
 	if s.pipelined() {
 		s.retireReady(sh)
 	}
@@ -972,6 +1032,20 @@ func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 	if !ok {
 		return 0, false, nil
 	}
+	if s.cache != nil {
+		if v, hit := s.cache.lookupLocked(key); hit {
+			// Served from the front end's local copy: no simulated Load,
+			// no shard busy time — this read never reached the fabric. The
+			// copy is coherent by construction (every state change above
+			// snooped it; see cache.go), so it equals what the Load below
+			// would return.
+			if s.rec != nil {
+				s.rec.CacheHit(sh.id, s.cluster.NowNS())
+			}
+			s.observeReadLocked(sh, key)
+			return v, true, nil
+		}
+	}
 	start := s.cluster.NowNS()
 	v, err := sh.thread().Load(sh.valLocOf(slot))
 	span := s.cluster.NowNS() - start
@@ -979,6 +1053,13 @@ func (s *Store) getLocked(key core.Val) (core.Val, bool, error) {
 	s.bucketWin[s.bucketOf(key)] += span
 	if err != nil {
 		return 0, false, err
+	}
+	if s.cache != nil {
+		s.cache.fillLocked(key, v, false)
+		if s.rec != nil {
+			s.rec.CacheMiss(sh.id, s.cluster.NowNS())
+		}
+		s.observeReadLocked(sh, key)
 	}
 	return v, true, nil
 }
@@ -999,10 +1080,11 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.multiGets++
 	if s.frontDown {
 		return nil, ErrFrontDown
 	}
+	// Served-only counting, like getLocked: a denied MultiGet never ran.
+	s.multiGets++
 	var start float64
 	if s.rec != nil {
 		start = s.cluster.NowNS()
@@ -1012,7 +1094,8 @@ func (s *Store) MultiGet(keys []core.Val) ([]Lookup, error) {
 	missing := 0
 	for _, k := range keys {
 		if sh := s.shards[s.shardOf(k)]; sh.partitioned && !sh.down {
-			s.gets++
+			// Not counted in Gets: the placeholder lookup was denied by
+			// the partition, not served.
 			unavailable[sh.id] = true
 			missing++
 			out = append(out, Lookup{Key: k})
@@ -1089,10 +1172,7 @@ func (s *Store) applyLocked(b *Batch) (Ack, error) {
 		}
 		val := op.Val
 		if op.IsDelete() {
-			s.deletes++
 			val = 0 // the tombstone value
-		} else {
-			s.puts++
 		}
 		sh := s.shards[s.shardOf(op.Key)]
 		ack, err := s.append(sh, op.Key, val)
@@ -1125,10 +1205,11 @@ func (s *Store) applyLocked(b *Batch) (Ack, error) {
 func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.scans++
 	if s.frontDown {
 		return nil, ErrFrontDown
 	}
+	// Served-only counting, like getLocked: a denied Scan never ran.
+	s.scans++
 	var sstart float64
 	if s.rec != nil {
 		sstart = s.cluster.NowNS()
@@ -1191,6 +1272,15 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 	}
 	out := make([]Pair, 0, len(cands))
 	for _, c := range cands {
+		if s.cache != nil {
+			if v, hit := s.cache.lookupLocked(c.key); hit {
+				if s.rec != nil {
+					s.rec.CacheHit(c.sh.id, s.cluster.NowNS())
+				}
+				out = append(out, Pair{Key: c.key, Val: v})
+				continue
+			}
+		}
 		start := s.cluster.NowNS()
 		v, err := c.sh.thread().Load(c.sh.valLocOf(c.slot))
 		span := s.cluster.NowNS() - start
@@ -1199,7 +1289,23 @@ func (s *Store) Scan(lo, hi core.Val, limit int) ([]Pair, error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.cache != nil {
+			s.cache.fillLocked(c.key, v, false)
+			if s.rec != nil {
+				s.rec.CacheMiss(c.sh.id, s.cluster.NowNS())
+			}
+		}
 		out = append(out, Pair{Key: c.key, Val: v})
+	}
+	if s.pred != nil && len(out) > 0 {
+		// Scan-run prefetch: warm the keys just past the scanned range
+		// ahead of a continuing sweep (workload E's scans walk forward).
+		last := out[len(out)-1].Key
+		ahead := make([]core.Val, 0, scanRunAhead)
+		for i := core.Val(1); i <= scanRunAhead; i++ {
+			ahead = append(ahead, last+i)
+		}
+		s.prefetchLocked(ahead)
 	}
 	s.scannedPairs += uint64(len(out))
 	if s.rec != nil {
@@ -1259,6 +1365,12 @@ func (s *Store) crashLocked(i int) {
 		sh.laneEnd = 0
 		sh.shadow = nil
 	}
+	if s.cache != nil {
+		// Reads may have cached visible-but-unacknowledged values this
+		// crash just destroyed; recovery decides what survives, so the
+		// front end's copies of the shard's keys go now.
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.shardOf(k) == i })
+	}
 	if s.rec != nil {
 		s.rec.Crash(i, s.cluster.NowNS())
 	}
@@ -1276,6 +1388,12 @@ func (s *Store) Partition(i int) {
 	sh := s.shards[i]
 	sh.partitioned = true
 	s.cluster.Partition(sh.machine)
+	if s.cache != nil {
+		// A partitioned owner cannot snoop the front end's copies, so the
+		// front end drops them instead of holding lines the fabric cannot
+		// revoke (see docs/caching.md).
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.shardOf(k) == i })
+	}
 	if s.rec != nil {
 		s.rec.Partition(i, s.cluster.NowNS())
 	}
@@ -1292,6 +1410,12 @@ func (s *Store) Heal(i int) {
 	}
 	sh.partitioned = false
 	s.cluster.Heal(sh.machine)
+	if s.cache != nil {
+		// Conservative partition-transition invalidation, mirroring
+		// Partition's: service resumes from the authoritative medium, not
+		// from copies cached across the outage.
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.shardOf(k) == i })
+	}
 	if s.rec != nil {
 		s.rec.Heal(i, s.cluster.NowNS())
 	}
@@ -1662,6 +1786,15 @@ scan:
 	sh.acked = cut
 	sh.pending = 0
 
+	if s.cache != nil {
+		// Recovery truncated the unacknowledged tail and rebuilt the
+		// shard's visible state; any copy cached from the pre-crash state
+		// is suspect. (crashLocked already snooped the shard's keys, but
+		// recoverShard also runs crash-free via RecoverFront, and a
+		// migration redo above may have flipped buckets — sweep again.)
+		s.cache.invalidateMatchLocked(func(k core.Val) bool { return s.shardOf(k) == sh.id })
+	}
+
 	simNS := s.cluster.NowNS() - start
 	sh.busyNS += simNS
 	sh.churnNS += simNS
@@ -1706,6 +1839,13 @@ func (s *Store) Metrics() Metrics {
 	}
 	m.PipelinedCommits = s.pipeCommits
 	m.MaxInFlight = s.maxInFlight
+	if s.cache != nil {
+		m.CacheHits = s.cache.hits
+		m.CacheMisses = s.cache.misses
+		m.SpeculativeFills = s.cache.specFills
+		m.CacheInvalidations = s.cache.invalidations
+		m.CacheSize = s.cache.lenLocked()
+	}
 	for _, sh := range s.shards {
 		m.PerShardBusyNS = append(m.PerShardBusyNS, sh.busyNS)
 		m.PerShardChurnNS = append(m.PerShardChurnNS, sh.churnNS)
@@ -1732,6 +1872,10 @@ func (s *Store) ResetMetrics() {
 	s.compactions, s.reclaimedSlots = 0, 0
 	s.recoveryNS, s.compactionNS = nil, nil
 	s.pipeCommits, s.maxInFlight = 0, 0
+	if s.cache != nil {
+		s.cache.hits, s.cache.misses = 0, 0
+		s.cache.specFills, s.cache.invalidations, s.cache.evictions = 0, 0, 0
+	}
 	for _, sh := range s.shards {
 		sh.busyNS = 0
 		sh.churnNS = 0

@@ -71,13 +71,23 @@ const (
 	// carrying the new factor in percent (N = 100 × factor; N == 100
 	// restores full speed).
 	KindDegrade
+	// KindCacheHit is a served read answered from the front end's local
+	// read cache (kv.Config.ReadCache) without a simulated Load, and
+	// KindCacheMiss one that paid the Load and filled the cache. Both are
+	// emitted only with the cache enabled, so a cache-off event stream is
+	// byte-identical to a pre-cache one.
+	KindCacheHit
+	KindCacheMiss
+	// KindSpeculative is one speculative prefetch fill: the predictor
+	// warmed the cache with a key ahead of demand (see docs/caching.md).
+	KindSpeculative
 
 	numKinds
 )
 
 var kindNames = [...]string{
 	"op", "commit", "migration", "compaction", "crash", "recover", "rebalance",
-	"partition", "heal", "degrade",
+	"partition", "heal", "degrade", "hit", "miss", "speculative",
 }
 
 func (k Kind) String() string {

@@ -234,6 +234,55 @@ func (r *Recorder) Degrade(shard int, factor float64, nowNS float64) {
 	r.publish(e)
 }
 
+// CacheHit records one served read answered from the front end's read
+// cache without a simulated Load. Emitted only with the cache enabled
+// (kv.Config.ReadCache > 0), so a cache-off stream is unchanged.
+func (r *Recorder) CacheHit(shard int, nowNS float64) {
+	if r == nil {
+		return
+	}
+	if r.stats != nil {
+		r.stats.count(KindCacheHit)
+	}
+	e := r.base(KindCacheHit)
+	e.Shard = r.shard(shard)
+	e.StartNS, e.EndNS = nowNS, nowNS
+	r.publish(e)
+}
+
+// CacheMiss records one served read that consulted the cache, paid the
+// simulated Load and filled the value back. Cache-enabled only, like
+// CacheHit.
+func (r *Recorder) CacheMiss(shard int, nowNS float64) {
+	if r == nil {
+		return
+	}
+	if r.stats != nil {
+		r.stats.count(KindCacheMiss)
+	}
+	e := r.base(KindCacheMiss)
+	e.Shard = r.shard(shard)
+	e.StartNS, e.EndNS = nowNS, nowNS
+	r.publish(e)
+}
+
+// SpeculativeFill records one prefetcher warm-up: a predicted key's
+// value installed in the read cache ahead of demand. Instantaneous on
+// the simulated clock — the speculative read is modeled as fully
+// overlapped (see docs/caching.md).
+func (r *Recorder) SpeculativeFill(shard int, nowNS float64) {
+	if r == nil {
+		return
+	}
+	if r.stats != nil {
+		r.stats.count(KindSpeculative)
+	}
+	e := r.base(KindSpeculative)
+	e.Shard = r.shard(shard)
+	e.StartNS, e.EndNS = nowNS, nowNS
+	r.publish(e)
+}
+
 // Recover records a completed shard recovery: recovered surviving log
 // records, salvaged client writes acknowledged by the recovery (pending
 // batched writes the scan validated), lost records destroyed by the

@@ -217,6 +217,12 @@ type Snapshot struct {
 	Partitions  uint64 `json:"partitions"`
 	Heals       uint64 `json:"heals"`
 	Degrades    uint64 `json:"degrades"`
+	// Read-cache counters (all 0 with kv.Config.ReadCache off): reads
+	// served from the front end's local cache, reads that paid the Load
+	// and filled it, and speculative prefetch fills.
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	SpeculativeFills uint64 `json:"speculative_fills"`
 }
 
 func opSnapshot(op Op, h *Hist, rate float64) OpSnapshot {
@@ -255,6 +261,10 @@ func (s *Stats) Snapshot() Snapshot {
 		Partitions:  s.kinds[KindPartition],
 		Heals:       s.kinds[KindHeal],
 		Degrades:    s.kinds[KindDegrade],
+
+		CacheHits:        s.kinds[KindCacheHit],
+		CacheMisses:      s.kinds[KindCacheMiss],
+		SpeculativeFills: s.kinds[KindSpeculative],
 	}
 	for op := OpNone + 1; op < numOps; op++ {
 		if s.perOp[op].N() == 0 {

@@ -792,6 +792,14 @@ func (r *Router) Metrics() kv.Metrics {
 		}
 		agg.PerShardInFlight = append(agg.PerShardInFlight, m.PerShardInFlight...)
 		agg.PerShardAcked = append(agg.PerShardAcked, m.PerShardAcked...)
+		// Each pooled cluster's front end owns its own read cache
+		// (Config.Store passes ReadCache/Prefetch through), so the pooled
+		// counters are the sum over per-front-end caches.
+		agg.CacheHits += m.CacheHits
+		agg.CacheMisses += m.CacheMisses
+		agg.SpeculativeFills += m.SpeculativeFills
+		agg.CacheInvalidations += m.CacheInvalidations
+		agg.CacheSize += m.CacheSize
 	}
 	agg.ScanDiscardedPairs += r.scanDiscarded.Load()
 	return agg

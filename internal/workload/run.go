@@ -47,6 +47,13 @@ type Options struct {
 	// RebalanceEvery calls the store's load-aware rebalancer every
 	// RebalanceEvery measured operations; 0 keeps the static shard map.
 	RebalanceEvery int
+	// CacheSweep marks the run as part of the bench's read-cache on/off
+	// sweep: the Result carries the cache counters and the mean served-read
+	// latency (the read_cache headline's inputs) on top of the usual
+	// fields. The cache itself is configured through Store.ReadCache /
+	// Store.Prefetch — a CacheSweep run with Store.ReadCache == 0 is the
+	// sweep's cache-off baseline.
+	CacheSweep bool
 	// Seed drives the operation stream.
 	Seed int64
 }
@@ -96,15 +103,24 @@ type Result struct {
 
 	// Latency percentiles over per-operation ack latencies, in simulated
 	// nanoseconds (writes: submit to durable-ack; reads/scans: call
-	// duration measured as consumed simulated time). On pooled rows a
-	// scan's fan-out legs run on independent clusters but are measured as
-	// their summed cost — a serial upper bound on the parallel latency —
-	// so pooled scan percentiles are conservative relative to SimNS's
-	// parallel-makespan accounting.
+	// duration measured as consumed simulated time). A pooled fan-out
+	// read's legs run on independent clusters in parallel, so its sample
+	// is the leg makespan — the slowest cluster's clock delta — matching
+	// SimNS's parallel accounting. The summed-legs figure (the serial
+	// upper bound the pre-fix harness reported as the percentile itself)
+	// is kept in the Serial* fields on pooled rows.
 	P50NS float64 `json:"p50_ns"`
 	P95NS float64 `json:"p95_ns"`
 	P99NS float64 `json:"p99_ns"`
 	MaxNS float64 `json:"max_ns"`
+	// Serial* are the same latency population with each pooled fan-out
+	// read sampled as its summed per-cluster cost instead of the leg
+	// makespan — what one cluster would have paid serially. Emitted only
+	// on pooled rows (Clusters > 1); on a single cluster the two
+	// accountings coincide.
+	SerialP50NS float64 `json:"serial_p50_ns,omitempty"`
+	SerialP95NS float64 `json:"serial_p95_ns,omitempty"`
+	SerialP99NS float64 `json:"serial_p99_ns,omitempty"`
 
 	// Load balance. MaxMeanBusy is the busiest shard's busy time over the
 	// mean — the skew metric: the makespan exceeds a perfectly balanced
@@ -171,6 +187,21 @@ type Result struct {
 	IssueP50NS    float64 `json:"issue_p50_ns,omitempty"`
 	IssueP95NS    float64 `json:"issue_p95_ns,omitempty"`
 	IssueP99NS    float64 `json:"issue_p99_ns,omitempty"`
+
+	// Read-cache sweep (Options.CacheSweep; see docs/caching.md). Every
+	// field is omitted on non-sweep rows, so the pre-cache schema is
+	// untouched. CacheSweep marks the row; ReadCache echoes the cache
+	// capacity (0 = the sweep's cache-off baseline); CacheHitRate is
+	// CacheHits/(CacheHits+CacheMisses) over served reads that resolved a
+	// value; ReadMeanNS is the mean served-read latency (point reads and
+	// scans) the read_cache headline divides to report the reduction.
+	CacheSweep       bool    `json:"cache_sweep,omitempty"`
+	ReadCache        int     `json:"read_cache,omitempty"`
+	CacheHits        uint64  `json:"cache_hits,omitempty"`
+	CacheMisses      uint64  `json:"cache_misses,omitempty"`
+	SpeculativeFills uint64  `json:"speculative_fills,omitempty"`
+	CacheHitRate     float64 `json:"cache_hit_rate,omitempty"`
+	ReadMeanNS       float64 `json:"read_mean_ns,omitempty"`
 }
 
 // Run executes one workload against one service configuration, driving
@@ -202,10 +233,23 @@ func Run(o Options) (Result, error) {
 			cfg.Capacity *= 2
 		}
 	}
-	var db kv.DB
-	db, err := pool.Open(pool.Config{Clusters: clusters, Store: cfg})
+	rt, err := pool.Open(pool.Config{Clusters: clusters, Store: cfg})
 	if err != nil {
 		return Result{}, err
+	}
+	var db kv.DB = rt
+
+	// clocks snapshots every pooled cluster's independent simulated clock.
+	// Bracketing a read with two snapshots yields both latency accountings
+	// at once: the max per-cluster delta is the parallel makespan of a
+	// fan-out's legs, the sum the serial upper bound (Router.NowNS deltas
+	// report only the sum — the pre-fix figure).
+	clocks := func() []float64 {
+		out := make([]float64, rt.NumClusters())
+		for c := range out {
+			out[c] = rt.Cluster(c).NowNS()
+		}
+		return out
 	}
 
 	// Preload the keyspace, then exclude it from measurement.
@@ -271,7 +315,20 @@ func Run(o Options) (Result, error) {
 		return false
 	}
 
-	var readLat []float64
+	var readLat, readLatSerial []float64
+	// sampleRead folds one bracketed read into both latency populations.
+	sampleRead := func(start, end []float64) {
+		makespan, serial := 0.0, 0.0
+		for c := range end {
+			d := end[c] - start[c]
+			serial += d
+			if d > makespan {
+				makespan = d
+			}
+		}
+		readLat = append(readLat, makespan)
+		readLatSerial = append(readLatSerial, serial)
+	}
 	crashShard := 0
 	recoveryLost := 0
 	for i := 0; i < o.Ops; i++ {
@@ -312,14 +369,14 @@ func Run(o Options) (Result, error) {
 		switch op.Kind {
 		case OpRead:
 			res.Reads++
-			start := db.NowNS()
+			start := clocks()
 			if _, _, err := db.Get(core.Val(op.Key)); err != nil {
 				if !tolerate(err) {
 					return Result{}, fmt.Errorf("op %d read: %w", i, err)
 				}
 				break // a denied read costs nothing; no latency sample
 			}
-			readLat = append(readLat, db.NowNS()-start)
+			sampleRead(start, clocks())
 		case OpUpdate:
 			res.Updates++
 			if _, err := db.Put(core.Val(op.Key), core.Val(op.Value)); err != nil {
@@ -336,7 +393,7 @@ func Run(o Options) (Result, error) {
 			}
 		case OpScan:
 			res.Scans++
-			start := db.NowNS()
+			start := clocks()
 			_, err := db.Scan(core.Val(op.Key), math.MaxInt64, op.ScanLen)
 			if err != nil && !tolerate(err) {
 				return Result{}, fmt.Errorf("op %d scan: %w", i, err)
@@ -344,7 +401,7 @@ func Run(o Options) (Result, error) {
 			if err == nil || errors.Is(err, kv.ErrUnavailable) {
 				// Partial scans did real work on the reachable shards;
 				// their cost belongs in the latency distribution.
-				readLat = append(readLat, db.NowNS()-start)
+				sampleRead(start, clocks())
 			}
 		}
 	}
@@ -364,12 +421,35 @@ func Run(o Options) (Result, error) {
 		res.ThroughputOpsPerSec = float64(o.Ops) / (res.SimNS * 1e-9)
 		res.GoodputOpsPerSec = float64(o.Ops-res.FailedOps-res.UnavailableOps) / (res.SimNS * 1e-9)
 	}
-	lat := append(readLat, m.WriteLatencies...)
+	lat := append(append([]float64(nil), readLat...), m.WriteLatencies...)
 	sort.Float64s(lat)
 	res.P50NS = percentile(lat, 50)
 	res.P95NS = percentile(lat, 95)
 	res.P99NS = percentile(lat, 99)
 	res.MaxNS = percentile(lat, 100)
+	if clusters > 1 {
+		slat := append(append([]float64(nil), readLatSerial...), m.WriteLatencies...)
+		sort.Float64s(slat)
+		res.SerialP50NS = percentile(slat, 50)
+		res.SerialP95NS = percentile(slat, 95)
+		res.SerialP99NS = percentile(slat, 99)
+	}
+	if o.CacheSweep {
+		res.CacheSweep = true
+		res.ReadCache = cfg.ReadCache
+		res.CacheHits = m.CacheHits
+		res.CacheMisses = m.CacheMisses
+		res.SpeculativeFills = m.SpeculativeFills
+		if served := m.CacheHits + m.CacheMisses; served > 0 {
+			res.CacheHitRate = float64(m.CacheHits) / float64(served)
+		}
+		for _, d := range readLat {
+			res.ReadMeanNS += d
+		}
+		if len(readLat) > 0 {
+			res.ReadMeanNS /= float64(len(readLat))
+		}
+	}
 	if cfg.Strategy.Batched() && cfg.PipelineDepth > 1 {
 		res.PipelineDepth = cfg.PipelineDepth
 		ackLat := append([]float64(nil), m.WriteLatencies...)
